@@ -1,0 +1,30 @@
+"""FIG4: OR schedules a BT flow by size ranges (paper Figure 4)."""
+
+from repro.experiments.fig45 import figure4_series
+from repro.util.tables import format_table
+
+
+def test_figure4(benchmark, save_result):
+    series = benchmark.pedantic(
+        figure4_series, kwargs={"duration": 300.0, "seed": 7}, rounds=1, iterations=1
+    )
+    rows = []
+    for iface, count in sorted(series.packets_per_interface.items()):
+        flow_cdf_grid, flow_cdf = series.interface_cdfs[iface]
+        import numpy as np
+
+        median = float(flow_cdf_grid[np.searchsorted(flow_cdf, 0.5)])
+        rows.append([f"interface {iface + 1}", count, median])
+    table = format_table(
+        ["flow", "packets", "median size"],
+        rows,
+        title="Figure 4 — OR over ranges (0,525], (525,1050], (1050,1576] on BT",
+    )
+    save_result("fig4", table)
+
+    # Each interface's sizes live inside its range (Fig. 4 b-d).
+    histograms = series.interface_histograms
+    edges0, counts0 = histograms[0]
+    assert counts0[edges0[:-1] >= 525].sum() == 0
+    edges2, counts2 = histograms[2]
+    assert counts2[edges2[1:] <= 1050].sum() == 0

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+One evaluation scenario (and its trained attack pipelines) is shared by
+all table benchmarks so the corpus is generated and the classifiers are
+trained once per session.  Each bench renders its regenerated table to
+stdout and to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import EvaluationScenario
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scenario() -> EvaluationScenario:
+    """The benchmark-scale home-WLAN scenario (Sec. IV-A)."""
+    return EvaluationScenario(
+        seed=7,
+        train_duration=420.0,
+        eval_duration=300.0,
+        train_sessions=6,
+        eval_sessions=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(scenario: EvaluationScenario) -> ExperimentRunner:
+    """Experiment runner sharing trained pipelines across benches."""
+    return ExperimentRunner(scenario)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered table for EXPERIMENTS.md and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,60 @@
+"""Designing custom target distributions (paper Sec. III-C, Eq. 1).
+
+OR uses orthogonal targets, but Eq. 1 admits any per-interface target
+distribution phi.  This example builds a non-orthogonal target ("make
+interface 0 carry a chat-like size mix, interface 1 a download-like
+one"), drives it with the greedy TargetDrivenReshaper, and evaluates how
+close the realized distributions get.
+
+Run:  python examples/custom_targets.py
+"""
+
+import numpy as np
+
+from repro import AppType, TargetDrivenReshaper, TrafficGenerator
+from repro.core.optimization import ReshapingObjective
+from repro.core.targets import TargetDistribution
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    trace = TrafficGenerator(seed=5).generate(AppType.BITTORRENT, duration=120.0)
+
+    boundaries = (232, 1540, 1576)
+    targets = TargetDistribution(
+        boundaries,
+        np.array(
+            [
+                [0.85, 0.12, 0.03],  # interface 0: chatting-like mix
+                [0.05, 0.15, 0.80],  # interface 1: downloading-like mix
+                [0.30, 0.40, 0.30],  # interface 2: deliberately bland
+            ]
+        ),
+    )
+    print(f"Targets orthogonal? {targets.is_orthogonal()}")
+
+    reshaper = TargetDrivenReshaper(targets)
+    reshaped = reshaper.reshape(trace)
+    objective = ReshapingObjective.evaluate(reshaped, targets)
+
+    rows = []
+    for iface in range(targets.interfaces):
+        rows.append(
+            [f"interface {iface} target"] + [f"{v:.3f}" for v in targets.matrix[iface]]
+        )
+        rows.append(
+            [f"interface {iface} realized"]
+            + [f"{v:.3f}" for v in objective.distributions[iface]]
+        )
+    print(format_table(
+        ["row", "(0,232]", "(232,1540]", "(1540,1576]"],
+        rows,
+        title="Eq. 1 with non-orthogonal targets (BT flow)",
+    ))
+    print(f"\nEq. 1 objective: {objective.value:.4f} "
+          f"(0 would be a perfect match; OR achieves 0 on orthogonal targets)")
+    print(f"Packets per interface: {objective.counts.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Full WLAN simulation: a sniffer in a home network (paper Sec. II-A).
+
+Builds the discrete-event BSS, runs the Fig. 2 configuration handshake
+over the air, replays a video-streaming session through the client/AP
+data planes with OR scheduling, and shows the eavesdropper's view:
+several virtual identities whose flows no longer resemble the original
+application.
+
+Run:  python examples/home_wlan_eavesdropper.py
+"""
+
+from repro import AppType, OrthogonalReshaper, TrafficGenerator
+from repro.net.channel import Position
+from repro.net.wlan import WlanSimulation
+from repro.traffic.stats import summarize_trace
+
+
+def main() -> None:
+    sim = WlanSimulation.build(seed=11, sniffer_position=Position(9.0, 4.0))
+
+    # A laptop 6 m from the AP, reshaping over three virtual interfaces.
+    laptop = sim.add_station(
+        "laptop",
+        Position(6.0, 0.0),
+        scheduler=OrthogonalReshaper.paper_default(),
+    )
+    granted = sim.configure_virtual_interfaces(laptop, interfaces=3)
+    print(f"AP granted {granted} virtual MAC interfaces:")
+    for index, address in enumerate(laptop.driver.vaps.addresses):
+        print(f"  interface {index}: {address}")
+
+    # The user streams video for a minute.
+    trace = TrafficGenerator(seed=12).generate(AppType.VIDEO, duration=60.0)
+    print(f"\nReplaying {len(trace)} video packets through the BSS...")
+    sim.replay_trace("laptop", trace)
+    sim.run()
+
+    # The eavesdropper groups captured frames by MAC identity.
+    print("\nEavesdropper's view (per observed identity):")
+    flows = sim.captured_flows()
+    for address, flow in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        summary = summarize_trace(flow, direction=None)
+        owner = "virtual" if laptop.driver.vaps.owns(address) else "physical"
+        print(
+            f"  {address} ({owner:8s}): {summary.packet_count:6d} frames, "
+            f"mean size {summary.mean_size:7.1f} B, "
+            f"mean interarrival {summary.mean_interarrival:8.4f} s"
+        )
+
+    original = summarize_trace(trace, direction=None)
+    print(
+        f"\nOriginal flow: {original.packet_count} packets, "
+        f"mean size {original.mean_size:.1f} B, "
+        f"mean interarrival {original.mean_interarrival:.4f} s"
+    )
+    print("None of the observed identities reproduces the original features.")
+
+
+if __name__ == "__main__":
+    main()

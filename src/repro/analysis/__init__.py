@@ -1,0 +1,74 @@
+"""The traffic-analysis attack (the adversary of Sec. II-A / IV-C).
+
+Reimplements the classification system of Zhang et al. (WiSec 2011,
+reference [6]): traffic is chopped into eavesdropping windows of W
+seconds; each window yields MAC-layer features ("number of packets,
+max/min/average/standard deviation of packet size, and packet
+interarrival time in downlink and uplink"); SVM and NN classifiers are
+trained on labeled windows of undefended traffic and evaluated on the
+observable flows a defense produces.
+"""
+
+from repro.analysis.aggregation import AggregationAttack, AggregationOutcome
+from repro.analysis.attack import AttackPipeline, AttackReport, DefenseEvaluation
+from repro.analysis.privacy import (
+    attribution_entropy_bits,
+    effective_anonymity_set,
+    wlan_privacy_entropy_bits,
+)
+from repro.analysis.classifiers import (
+    Classifier,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LinearSvm,
+    MlpClassifier,
+    best_classifier,
+)
+from repro.analysis.dataset import Dataset, train_test_split
+from repro.analysis.features import (
+    FEATURE_NAMES,
+    WindowFeatures,
+    extract_features,
+    features_from_windows,
+)
+from repro.analysis.linking import RssiLinker, linking_accuracy
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    accuracy_by_class,
+    false_positive_rates,
+    mean_accuracy,
+)
+from repro.analysis.scaler import StandardScaler
+from repro.analysis.windows import sliding_windows, window_traces
+
+__all__ = [
+    "AggregationAttack",
+    "AggregationOutcome",
+    "AttackPipeline",
+    "AttackReport",
+    "Classifier",
+    "ConfusionMatrix",
+    "Dataset",
+    "DefenseEvaluation",
+    "FEATURE_NAMES",
+    "GaussianNaiveBayes",
+    "KNearestNeighbors",
+    "LinearSvm",
+    "MlpClassifier",
+    "RssiLinker",
+    "StandardScaler",
+    "WindowFeatures",
+    "accuracy_by_class",
+    "attribution_entropy_bits",
+    "best_classifier",
+    "effective_anonymity_set",
+    "wlan_privacy_entropy_bits",
+    "extract_features",
+    "false_positive_rates",
+    "features_from_windows",
+    "linking_accuracy",
+    "mean_accuracy",
+    "sliding_windows",
+    "train_test_split",
+    "window_traces",
+]

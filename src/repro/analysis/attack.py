@@ -1,0 +1,214 @@
+"""End-to-end attack pipeline.
+
+The full adversary loop of Sec. IV: train the classifier on windows of
+*undefended* traffic of all seven applications (the attacker profiles
+applications offline), then, for each defended application trace,
+classify every window of every observable flow and score how often the
+attacker recovers the true activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classifiers import Classifier, best_classifier, default_attackers
+from repro.analysis.dataset import Dataset
+from repro.analysis.features import (
+    direction_dropout_variants,
+    extract_features,
+    features_from_windows,
+)
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    accuracy_by_class,
+    false_positive_rates,
+    mean_accuracy,
+)
+from repro.analysis.scaler import StandardScaler
+from repro.analysis.windows import sliding_windows
+from repro.defenses.base import DefendedTraffic
+from repro.traffic.trace import Trace
+
+__all__ = ["AttackPipeline", "AttackReport", "DefenseEvaluation"]
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Classification outcome over one set of flows."""
+
+    confusion: ConfusionMatrix
+
+    @property
+    def accuracy_by_class(self) -> dict[str, float]:
+        """Per-application accuracy (%) — the tables' per-app rows."""
+        return accuracy_by_class(self.confusion)
+
+    @property
+    def false_positive_by_class(self) -> dict[str, float]:
+        """Per-application FP rate (%) — Table IV."""
+        return false_positive_rates(self.confusion)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """The tables' "Mean" row (%)."""
+        return mean_accuracy(self.confusion)
+
+    @property
+    def mean_false_positive(self) -> float:
+        """Mean of per-class FP rates (%)."""
+        values = [v for v in self.false_positive_by_class.values() if v == v]
+        if not values:
+            return float("nan")
+        return float(sum(values) / len(values))
+
+
+@dataclass
+class DefenseEvaluation:
+    """Per-application defended traffic, keyed by true label."""
+
+    defended: dict[str, DefendedTraffic] = field(default_factory=dict)
+
+    def add(self, label: str, defended: DefendedTraffic) -> None:
+        """Record the defended traffic of application ``label``."""
+        self.defended[label] = defended
+
+
+class AttackPipeline:
+    """Trains on undefended traces, evaluates defenses.
+
+    Args:
+        window: the eavesdropping duration W in seconds.
+        min_packets: minimum packets per classifiable window.
+        attackers: candidate classifiers (defaults to SVM + NN, the
+            paper's attacker set).
+        seed: classifier-selection randomness.
+        feature_indices: optional subset of feature columns the attacker
+            uses (see :data:`repro.analysis.features.FEATURE_NAMES`).
+            The Table VI timing attack, for example, keeps only the
+            packet-count and interarrival columns.
+        augment_directions: when True (default), every training window
+            also contributes its one-sided (downlink-only / uplink-only)
+            variants — see
+            :func:`repro.analysis.features.direction_dropout_variants`.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        min_packets: int = 2,
+        attackers: list[Classifier] | None = None,
+        seed: int = 0,
+        feature_indices: tuple[int, ...] | None = None,
+        augment_directions: bool = True,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self.min_packets = int(min_packets)
+        self.seed = int(seed)
+        self.feature_indices = tuple(feature_indices) if feature_indices else None
+        self.augment_directions = bool(augment_directions)
+        self._attackers = attackers
+        self._scaler = StandardScaler()
+        self._classifier: Classifier | None = None
+        self._classes: tuple[str, ...] = ()
+        self.validation_accuracy: float = float("nan")
+
+    def _select_features(self, x):
+        if self.feature_indices is None:
+            return x
+        return x[:, list(self.feature_indices)]
+
+    # -- training ----------------------------------------------------------
+
+    def train(self, traces_by_app: dict[str, list[Trace]]) -> "AttackPipeline":
+        """Profile applications from undefended training traces."""
+        features = []
+        for label, traces in traces_by_app.items():
+            for trace in traces:
+                windows = sliding_windows(trace, self.window, self.min_packets)
+                extracted = features_from_windows(windows, self.window, label)
+                features.extend(extracted)
+                if self.augment_directions:
+                    for item in extracted:
+                        features.extend(
+                            direction_dropout_variants(item, self.window)
+                        )
+        if not features:
+            raise ValueError("no classifiable windows in the training traces")
+        dataset = Dataset.from_features(features)
+        self._classes = dataset.classes
+        x = self._scaler.fit_transform(self._select_features(dataset.x))
+        y = dataset.label_indices()
+        attackers = self._attackers or default_attackers(self.seed)
+        self._classifier, self.validation_accuracy = best_classifier(
+            attackers, x, y, len(self._classes), seed=self.seed
+        )
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self._classifier is not None
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """The activity classes the attacker can emit."""
+        return self._classes
+
+    @property
+    def classifier_name(self) -> str:
+        """Name of the winning attacker (svm / nn / ...)."""
+        if self._classifier is None:
+            return "untrained"
+        return self._classifier.name
+
+    # -- evaluation -----------------------------------------------------------
+
+    def classify_windows(self, windows: list[Trace]) -> list[str]:
+        """Predict an activity label for each window trace."""
+        if self._classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        if not windows:
+            return []
+        features = [extract_features(w, self.window, label=None) for w in windows]
+        dataset = Dataset.from_features(features, classes=self._classes + ("?",))
+        x = self._scaler.transform(self._select_features(dataset.x))
+        predictions = self._classifier.predict(x)
+        return [self._classes[int(index)] for index in predictions]
+
+    def evaluate_flows(self, flows_by_label: dict[str, list[Trace]]) -> AttackReport:
+        """Classify every window of every flow; score against true labels.
+
+        ``flows_by_label`` maps the *true* application to the observable
+        flows its defended traffic produced (one flow per virtual
+        interface / pseudonym / channel slice).
+        """
+        true_labels: list[str] = []
+        predicted: list[str] = []
+        for label, flows in flows_by_label.items():
+            for flow in flows:
+                windows = sliding_windows(flow, self.window, self.min_packets)
+                if not windows:
+                    continue
+                predictions = self.classify_windows(windows)
+                predicted.extend(predictions)
+                true_labels.extend([label] * len(predictions))
+        confusion = ConfusionMatrix.from_predictions(
+            true_labels, predicted, self._classes
+        )
+        return AttackReport(confusion=confusion)
+
+    def evaluate_traces(self, traces_by_label: dict[str, list[Trace]]) -> AttackReport:
+        """Evaluate undefended traces (each trace is one observable flow)."""
+        return self.evaluate_flows(
+            {label: list(traces) for label, traces in traces_by_label.items()}
+        )
+
+    def evaluate_defense(self, evaluation: DefenseEvaluation) -> AttackReport:
+        """Evaluate a :class:`DefenseEvaluation` built from defended traffic."""
+        flows = {
+            label: defended.observable_flows
+            for label, defended in evaluation.defended.items()
+        }
+        return self.evaluate_flows(flows)

@@ -1,0 +1,31 @@
+"""Classifier interface (fit on integer-encoded labels, predict indices)."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Classifier"]
+
+
+class Classifier(abc.ABC):
+    """A multiclass classifier over standardized feature matrices."""
+
+    name: str = "classifier"
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "Classifier":
+        """Train on rows ``x`` with integer labels ``y`` in [0, n_classes)."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return the predicted class index per row."""
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Plain accuracy on ``(x, y)``."""
+        predictions = self.predict(x)
+        y = np.asarray(y)
+        if len(y) == 0:
+            return float("nan")
+        return float((predictions == y).mean())

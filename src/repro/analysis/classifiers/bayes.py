@@ -1,0 +1,63 @@
+"""Gaussian naive Bayes — a fast cross-check attacker.
+
+Not part of the paper's attacker, but a useful sanity classifier: if
+naive Bayes and the SVM/NN agree on which applications collapse under a
+defense, the result is not an artifact of one training procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classifiers.base import Classifier
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(Classifier):
+    """Per-class diagonal Gaussians with class priors."""
+
+    name = "bayes"
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing <= 0:
+            raise ValueError("var_smoothing must be positive")
+        self.var_smoothing = float(var_smoothing)
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.log_priors_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "GaussianNaiveBayes":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        n_features = x.shape[1]
+        means = np.zeros((n_classes, n_features))
+        variances = np.ones((n_classes, n_features))
+        priors = np.full(n_classes, 1e-12)
+        floor = self.var_smoothing * float(x.var(axis=0).max() + 1.0)
+        for class_index in range(n_classes):
+            rows = x[y == class_index]
+            if len(rows) == 0:
+                continue
+            means[class_index] = rows.mean(axis=0)
+            variances[class_index] = rows.var(axis=0) + floor
+            priors[class_index] = len(rows) / len(x)
+        self.means_ = means
+        self.variances_ = variances
+        self.log_priors_ = np.log(priors / priors.sum())
+        return self
+
+    def log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        """Joint log-likelihood per class, shape (n_samples, n_classes)."""
+        if self.means_ is None or self.variances_ is None or self.log_priors_ is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        deltas = x[:, None, :] - self.means_[None, :, :]
+        exponent = -0.5 * (deltas**2 / self.variances_[None, :, :]).sum(axis=2)
+        normalizer = -0.5 * np.log(2.0 * np.pi * self.variances_).sum(axis=1)
+        return exponent + normalizer[None, :] + self.log_priors_[None, :]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.log_likelihood(x), axis=1)

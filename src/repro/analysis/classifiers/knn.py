@@ -1,0 +1,61 @@
+"""k-nearest-neighbors — the second cross-check attacker."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classifiers.base import Classifier
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors(Classifier):
+    """Euclidean k-NN with majority vote (ties to the nearer neighbor)."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, chunk_size: int = 512):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.k = int(k)
+        self.chunk_size = int(chunk_size)
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "KNearestNeighbors":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._x = x
+        self._y = y
+        self._n_classes = int(n_classes)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        k = min(self.k, len(self._x))
+        out = np.empty(len(x), dtype=np.int64)
+        for start in range(0, len(x), self.chunk_size):
+            block = x[start : start + self.chunk_size]
+            # Squared distances via (a-b)^2 = a^2 - 2ab + b^2.
+            distances = (
+                (block**2).sum(axis=1, keepdims=True)
+                - 2.0 * block @ self._x.T
+                + (self._x**2).sum(axis=1)[None, :]
+            )
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for row_offset, neighbor_ids in enumerate(nearest):
+                order = np.argsort(distances[row_offset, neighbor_ids], kind="stable")
+                votes = np.zeros(self._n_classes, dtype=np.float64)
+                # Closer neighbors get infinitesimally larger weight so ties
+                # resolve deterministically toward the nearest.
+                for rank, neighbor in enumerate(neighbor_ids[order]):
+                    votes[self._y[neighbor]] += 1.0 + 1e-9 * (k - rank)
+                out[start + row_offset] = int(np.argmax(votes))
+        return out

@@ -1,0 +1,125 @@
+"""Multilayer perceptron: the NN half of the paper's attack.
+
+One hidden ReLU layer, softmax output, cross-entropy loss, Adam
+optimizer — all in numpy.  Sized for 12-dimensional window features and
+seven classes, where a small MLP matches the discriminative power the
+paper reports for its NN classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classifiers.base import Classifier
+from repro.util.rng import derive_rng
+
+__all__ = ["MlpClassifier"]
+
+
+class MlpClassifier(Classifier):
+    """Single-hidden-layer MLP with Adam.
+
+    Args:
+        hidden: hidden-layer width.
+        epochs: training passes.
+        batch_size: minibatch size.
+        learning_rate: Adam step size.
+        weight_decay: L2 penalty applied through the gradient.
+        seed: initialization/shuffling seed.
+    """
+
+    name = "nn"
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        epochs: int = 80,
+        batch_size: int = 64,
+        learning_rate: float = 1e-2,
+        weight_decay: float = 1e-4,
+        seed: int = 0,
+    ):
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("hidden, epochs and batch_size must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+        self.seed = int(seed)
+        self._params: dict[str, np.ndarray] | None = None
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        shifted = z - z.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "MlpClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n_samples, n_features = x.shape
+        if n_samples == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = derive_rng(self.seed, "mlp")
+
+        def glorot(fan_in: int, fan_out: int) -> np.ndarray:
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        params = {
+            "w1": glorot(n_features, self.hidden),
+            "b1": np.zeros(self.hidden),
+            "w2": glorot(self.hidden, n_classes),
+            "b2": np.zeros(n_classes),
+        }
+        moments = {key: np.zeros_like(value) for key, value in params.items()}
+        variances = {key: np.zeros_like(value) for key, value in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        one_hot = np.eye(n_classes)[y]
+        step = 0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = x[batch], one_hot[batch]
+                hidden_pre = xb @ params["w1"] + params["b1"]
+                hidden_act = np.maximum(hidden_pre, 0.0)
+                logits = hidden_act @ params["w2"] + params["b2"]
+                probs = self._softmax(logits)
+
+                grad_logits = (probs - yb) / len(batch)
+                grads = {
+                    "w2": hidden_act.T @ grad_logits + self.weight_decay * params["w2"],
+                    "b2": grad_logits.sum(axis=0),
+                }
+                grad_hidden = grad_logits @ params["w2"].T
+                grad_hidden[hidden_pre <= 0.0] = 0.0
+                grads["w1"] = xb.T @ grad_hidden + self.weight_decay * params["w1"]
+                grads["b1"] = grad_hidden.sum(axis=0)
+
+                step += 1
+                for key in params:
+                    moments[key] = beta1 * moments[key] + (1 - beta1) * grads[key]
+                    variances[key] = beta2 * variances[key] + (1 - beta2) * grads[key] ** 2
+                    m_hat = moments[key] / (1 - beta1**step)
+                    v_hat = variances[key] / (1 - beta2**step)
+                    params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+        self._params = params
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape (n_samples, n_classes)."""
+        if self._params is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        hidden = np.maximum(x @ self._params["w1"] + self._params["b1"], 0.0)
+        logits = hidden @ self._params["w2"] + self._params["b2"]
+        return self._softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)

@@ -1,0 +1,61 @@
+"""Attacker selection: the paper's "highest accuracy" reporting rule.
+
+Sec. IV-C: "We present the highest classification accuracy based on
+these features."  :func:`best_classifier` trains each candidate on the
+training set and returns the one with the highest accuracy on a
+held-out validation split — the strongest adversary the defender must
+survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classifiers.base import Classifier
+from repro.analysis.classifiers.nn import MlpClassifier
+from repro.analysis.classifiers.svm import LinearSvm
+from repro.util.rng import derive_rng
+
+__all__ = ["default_attackers", "best_classifier"]
+
+
+def default_attackers(seed: int = 0) -> list[Classifier]:
+    """The paper's attacker set: one SVM and one NN."""
+    return [LinearSvm(seed=seed), MlpClassifier(seed=seed)]
+
+
+def best_classifier(
+    candidates: list[Classifier],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[Classifier, float]:
+    """Train every candidate; return (best fitted classifier, val accuracy).
+
+    The winner is refit on the full training data before returning.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate classifier")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    rng = derive_rng(seed, "classifier-selection")
+    order = rng.permutation(len(x))
+    n_val = max(1, int(len(x) * validation_fraction))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    if len(train_idx) == 0:
+        raise ValueError("training split is empty; provide more windows")
+
+    best: Classifier | None = None
+    best_accuracy = -1.0
+    for candidate in candidates:
+        candidate.fit(x[train_idx], y[train_idx], n_classes)
+        accuracy = candidate.score(x[val_idx], y[val_idx])
+        if accuracy > best_accuracy:
+            best, best_accuracy = candidate, accuracy
+    assert best is not None
+    best.fit(x, y, n_classes)
+    return best, float(best_accuracy)

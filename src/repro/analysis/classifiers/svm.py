@@ -1,0 +1,94 @@
+"""One-vs-rest linear SVM trained with averaged SGD on the hinge loss.
+
+A numpy reimplementation of the SVM half of the paper's attack
+(reference [6] used SVM/NN classifiers).  One binary L2-regularized
+hinge-loss machine per class (Pegasos-style step schedule), prediction
+by maximum margin.  Weight averaging over the second half of training
+stabilizes the decision boundaries on small window datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classifiers.base import Classifier
+from repro.util.rng import derive_rng
+
+__all__ = ["LinearSvm"]
+
+
+class LinearSvm(Classifier):
+    """Multiclass (one-vs-rest) linear SVM.
+
+    Args:
+        regularization: L2 coefficient lambda of the Pegasos objective.
+        epochs: passes over the training data.
+        seed: shuffling seed.
+    """
+
+    name = "svm"
+
+    def __init__(self, regularization: float = 1e-3, epochs: int = 40, seed: int = 0):
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.regularization = float(regularization)
+        self.epochs = int(epochs)
+        self.seed = int(seed)
+        self.weights_: np.ndarray | None = None  # (n_classes, n_features)
+        self.bias_: np.ndarray | None = None  # (n_classes,)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "LinearSvm":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n_samples, n_features = x.shape
+        if n_samples == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = derive_rng(self.seed, "svm")
+        weights = np.zeros((n_classes, n_features))
+        bias = np.zeros(n_classes)
+
+        for class_index in range(n_classes):
+            targets = np.where(y == class_index, 1.0, -1.0)
+            w = np.zeros(n_features)
+            b = 0.0
+            w_sum = np.zeros(n_features)
+            b_sum = 0.0
+            averaged_steps = 0
+            step = 0
+            half = self.epochs * n_samples // 2
+            for epoch in range(self.epochs):
+                order = rng.permutation(n_samples)
+                for i in order:
+                    step += 1
+                    eta = 1.0 / (self.regularization * step)
+                    margin = targets[i] * (x[i] @ w + b)
+                    w *= 1.0 - eta * self.regularization
+                    if margin < 1.0:
+                        w += eta * targets[i] * x[i]
+                        b += eta * targets[i]
+                    if step > half:
+                        w_sum += w
+                        b_sum += b
+                        averaged_steps += 1
+            if averaged_steps:
+                weights[class_index] = w_sum / averaged_steps
+                bias[class_index] = b_sum / averaged_steps
+            else:
+                weights[class_index] = w
+                bias[class_index] = b
+
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Per-class margins, shape (n_samples, n_classes)."""
+        if self.weights_ is None or self.bias_ is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        return x @ self.weights_.T + self.bias_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_function(x), axis=1)

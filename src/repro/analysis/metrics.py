@@ -1,0 +1,106 @@
+"""Evaluation metrics: the two quantities the paper reports.
+
+Sec. IV: "Accuracy is the percentage of correctly classified instances
+among the total number of instances, and mean accuracy is defined as
+overall average recognition probability of classifiers. ... FP reflects
+the percent of non-class X packets incorrectly classified as belonging
+to class X."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "accuracy_by_class",
+    "false_positive_rates",
+    "mean_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts ``matrix[true, predicted]`` over a fixed class list."""
+
+    classes: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.int64)
+        n = len(self.classes)
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix shape {matrix.shape} does not match {n} classes")
+        object.__setattr__(self, "matrix", matrix)
+
+    @classmethod
+    def from_predictions(
+        cls,
+        true_labels: list[str],
+        predicted_labels: list[str],
+        classes: tuple[str, ...],
+    ) -> "ConfusionMatrix":
+        """Tally predictions into a confusion matrix."""
+        if len(true_labels) != len(predicted_labels):
+            raise ValueError("label lists must have equal length")
+        index = {label: i for i, label in enumerate(classes)}
+        matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+        for truth, predicted in zip(true_labels, predicted_labels):
+            matrix[index[truth], index[predicted]] += 1
+        return cls(tuple(classes), matrix)
+
+    @property
+    def total(self) -> int:
+        """Number of classified instances."""
+        return int(self.matrix.sum())
+
+    def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        """Sum two confusion matrices over the same classes."""
+        if self.classes != other.classes:
+            raise ValueError("cannot merge confusion matrices over different classes")
+        return ConfusionMatrix(self.classes, self.matrix + other.matrix)
+
+
+def accuracy_by_class(confusion: ConfusionMatrix) -> dict[str, float]:
+    """Per-class recall: fraction of class-X instances classified as X.
+
+    This is the "Accuracy" column of Tables II/III/V/VI (NaN for classes
+    with no instances).
+    """
+    out: dict[str, float] = {}
+    for i, label in enumerate(confusion.classes):
+        row_total = int(confusion.matrix[i].sum())
+        if row_total == 0:
+            out[label] = float("nan")
+        else:
+            out[label] = 100.0 * confusion.matrix[i, i] / row_total
+    return out
+
+
+def mean_accuracy(confusion: ConfusionMatrix) -> float:
+    """Mean of the per-class accuracies (the tables' "Mean" row)."""
+    values = [v for v in accuracy_by_class(confusion).values() if v == v]
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+def false_positive_rates(confusion: ConfusionMatrix) -> dict[str, float]:
+    """Per-class FP rate: non-X instances classified as X / non-X instances.
+
+    The Table IV metric (NaN when a class has no negatives).
+    """
+    totals = confusion.matrix.sum()
+    out: dict[str, float] = {}
+    for i, label in enumerate(confusion.classes):
+        predicted_as_x = int(confusion.matrix[:, i].sum())
+        true_x = int(confusion.matrix[i].sum())
+        false_positives = predicted_as_x - int(confusion.matrix[i, i])
+        negatives = int(totals - true_x)
+        if negatives == 0:
+            out[label] = float("nan")
+        else:
+            out[label] = 100.0 * false_positives / negatives
+    return out

@@ -1,0 +1,37 @@
+"""Feature standardization fit on the training set only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with constant-feature protection."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation from ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError("fit requires a non-empty 2-D matrix")
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale < 1e-12] = 1.0  # constant features pass through centered
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize ``x`` with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` then transform it."""
+        return self.fit(x).transform(x)

@@ -1,0 +1,74 @@
+"""Eavesdropping windows.
+
+"The eavesdropping duration (denoted as W) is used to represent the
+shortest time duration of traffic for classification each time"
+(Sec. IV-A).  A flow is chopped into consecutive W-second windows;
+windows with fewer than a minimum number of packets are dropped (an
+eavesdropper cannot classify silence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.trace import Trace
+from repro.util.validation import require, require_positive
+
+__all__ = ["sliding_windows", "window_traces"]
+
+
+def sliding_windows(
+    trace: Trace,
+    window: float,
+    min_packets: int = 2,
+) -> list[Trace]:
+    """Chop ``trace`` into consecutive ``window``-second slices.
+
+    Args:
+        trace: the flow to slice (timestamps need not start at 0).
+        window: W in seconds.
+        min_packets: windows with fewer packets are dropped.
+
+    Returns sub-traces whose timestamps are re-based to the window start
+    so features never depend on absolute time.
+    """
+    require_positive(window, "window")
+    require(min_packets >= 1, "min_packets must be >= 1")
+    if len(trace) == 0:
+        return []
+    start = float(trace.times[0])
+    end = float(trace.times[-1])
+    slices: list[Trace] = []
+    # Enough edges that the half-open final window covers the last packet.
+    count = max(1, int(np.ceil((end - start) / window + 1e-12)) + 1)
+    edges = start + np.arange(count + 1) * window
+    indices = np.searchsorted(trace.times, edges)
+    for k in range(len(edges) - 1):
+        lo, hi = int(indices[k]), int(indices[k + 1])
+        if hi - lo < min_packets:
+            continue
+        slices.append(
+            Trace(
+                trace.times[lo:hi] - float(edges[k]),
+                trace.sizes[lo:hi].copy(),
+                trace.directions[lo:hi].copy(),
+                trace.ifaces[lo:hi].copy(),
+                trace.channels[lo:hi].copy(),
+                trace.rssi[lo:hi].copy(),
+                trace.label,
+                {},
+            )
+        )
+    return slices
+
+
+def window_traces(
+    flows: list[Trace],
+    window: float,
+    min_packets: int = 2,
+) -> list[Trace]:
+    """Windows across several observable flows, concatenated."""
+    out: list[Trace] = []
+    for flow in flows:
+        out.extend(sliding_windows(flow, window, min_packets))
+    return out

@@ -1,0 +1,67 @@
+"""Reshaper interface.
+
+A reshaper realizes the scheduling function of Sec. III-C-1:
+``F(s_k) = i, i in [1, I]`` (0-based here).  Two operating modes are
+supported:
+
+* **online** — :meth:`Reshaper.assign_packet` is called per packet by
+  the client driver / AP data plane inside the discrete-event simulator;
+* **batch** — :meth:`Reshaper.assign_trace` maps a whole trace at once
+  (vectorized), which is how the trace-driven evaluation pipeline runs.
+
+Subclasses must keep the two modes consistent: ``assign_trace`` must
+produce the same assignment a per-packet replay would (this is asserted
+by property tests).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.traffic.trace import Trace
+
+__all__ = ["Reshaper", "StatelessReshaper"]
+
+
+class Reshaper(abc.ABC):
+    """Maps packets to virtual interfaces."""
+
+    @property
+    @abc.abstractmethod
+    def interfaces(self) -> int:
+        """Number of virtual interfaces I."""
+
+    @abc.abstractmethod
+    def assign_packet(self, time: float, size: int, direction: int) -> int:
+        """Online mode: return the interface index for one packet."""
+
+    def assign_trace(self, trace: Trace) -> np.ndarray:
+        """Batch mode: return an int16 interface index per packet.
+
+        The default implementation replays packets through
+        :meth:`assign_packet`; vectorizable subclasses override it.
+        """
+        out = np.empty(len(trace), dtype=np.int16)
+        for index in range(len(trace)):
+            out[index] = self.assign_packet(
+                time=float(trace.times[index]),
+                size=int(trace.sizes[index]),
+                direction=int(trace.directions[index]),
+            )
+        return out
+
+    def reset(self) -> None:
+        """Clear any online state (per-direction counters etc.)."""
+
+    def reshape(self, trace: Trace) -> Trace:
+        """Return ``trace`` with per-packet interface assignments applied."""
+        return trace.with_ifaces(self.assign_trace(trace))
+
+
+class StatelessReshaper(Reshaper):
+    """Base for reshapers whose decision depends only on the packet itself."""
+
+    def reset(self) -> None:  # nothing to clear
+        return

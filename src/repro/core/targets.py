@@ -1,0 +1,140 @@
+"""Target distributions φⁱ and the paper's packet-size range sets.
+
+Sec. III-C-1 partitions the size axis into L ranges
+``{(0, l1], (l1, l2], ..., (l_{L-1}, l_L]}`` with ``l_L = l_max`` and
+defines a target probability vector φⁱ per interface.  Orthogonal
+Reshaping (Sec. III-C-2) requires the targets to be pairwise orthogonal
+(Eq. 2), which — since every φ entry is in [0, 1] and each row sums
+to 1 with L = I — forces exactly one interface per range:
+φ¹ = [1,0,0], φ² = [0,1,0], φ³ = [0,0,1] in the paper's default.
+
+Range sets used in the paper:
+
+* Fig. 4 (BT example): (0, 525], (525, 1050], (1050, 1576]
+* Tables I-IV default (I = 3): (0, 232], (232, 1540], (1540, 1576]
+* Table V, I = 2: (0, 1500], (1500, 1576]
+* Table V, I = 5: (0, 232], (232, 500], (500, 1000], (1000, 1540],
+  (1540, 1576]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.sizes import MAX_PACKET_SIZE
+from repro.util.validation import require
+
+__all__ = [
+    "TargetDistribution",
+    "orthogonal_targets",
+    "paper_ranges",
+    "FIG4_RANGES",
+    "PAPER_RANGES_I2",
+    "PAPER_RANGES_I3",
+    "PAPER_RANGES_I5",
+]
+
+#: Fig. 4: three equal-width ranges over (0, 1576].
+FIG4_RANGES: tuple[int, ...] = (525, 1050, MAX_PACKET_SIZE)
+
+#: Default evaluation ranges (Sec. IV-B): the two observed size modes
+#: [108, 232] and [1546, 1576] anchor the cut points.
+PAPER_RANGES_I3: tuple[int, ...] = (232, 1540, MAX_PACKET_SIZE)
+
+#: Table V, I = 2.
+PAPER_RANGES_I2: tuple[int, ...] = (1500, MAX_PACKET_SIZE)
+
+#: Table V, I = 5.
+PAPER_RANGES_I5: tuple[int, ...] = (232, 500, 1000, 1540, MAX_PACKET_SIZE)
+
+
+def paper_ranges(interfaces: int) -> tuple[int, ...]:
+    """The paper's range set for ``interfaces`` ∈ {2, 3, 5}."""
+    table = {2: PAPER_RANGES_I2, 3: PAPER_RANGES_I3, 5: PAPER_RANGES_I5}
+    if interfaces not in table:
+        raise ValueError(
+            f"the paper defines range sets for I in {sorted(table)}, got {interfaces}"
+        )
+    return table[interfaces]
+
+
+@dataclass(frozen=True)
+class TargetDistribution:
+    """The matrix φ of per-interface target probabilities.
+
+    ``matrix[i, j]`` is φⁱⱼ: the target probability that a packet on
+    interface ``i`` falls in size range ``j``.  Rows sum to 1.
+    """
+
+    boundaries: tuple[int, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        boundaries = tuple(int(b) for b in self.boundaries)
+        require(len(boundaries) >= 1, "need at least one size range")
+        require(
+            all(b2 > b1 for b1, b2 in zip(boundaries, boundaries[1:])),
+            "range boundaries must be strictly increasing",
+        )
+        require(boundaries[0] > 0, "first boundary must be positive")
+        matrix = np.asarray(self.matrix, dtype=float)
+        require(matrix.ndim == 2, "target matrix must be 2-D (interfaces x ranges)")
+        require(
+            matrix.shape[1] == len(boundaries),
+            f"target matrix has {matrix.shape[1]} columns for {len(boundaries)} ranges",
+        )
+        require(bool(np.all(matrix >= -1e-12)), "target probabilities must be >= 0")
+        require(
+            bool(np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9)),
+            "each interface's target must sum to 1",
+        )
+        object.__setattr__(self, "boundaries", boundaries)
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def interfaces(self) -> int:
+        """Number of interfaces I."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def ranges(self) -> int:
+        """Number of size ranges L."""
+        return int(self.matrix.shape[1])
+
+    def range_of(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized range index j for each size (sizes above l_L clamp to L-1)."""
+        sizes = np.asarray(sizes)
+        indices = np.searchsorted(np.asarray(self.boundaries), sizes, side="left")
+        return np.minimum(indices, len(self.boundaries) - 1).astype(np.int64)
+
+    def is_orthogonal(self, atol: float = 1e-9) -> bool:
+        """Check Eq. 2: every pair of target rows has zero dot product."""
+        gram = self.matrix @ self.matrix.T
+        off_diagonal = gram - np.diag(np.diag(gram))
+        return bool(np.all(np.abs(off_diagonal) <= atol))
+
+    def owning_interface(self) -> np.ndarray:
+        """For orthogonal targets with L = I: the interface owning each range.
+
+        Orthogonality over [0,1] entries implies for every range j there
+        is exactly one interface i with φⁱⱼ = 1 (Sec. III-C-2).
+        """
+        if not self.is_orthogonal():
+            raise ValueError("targets are not orthogonal")
+        owners = np.argmax(self.matrix, axis=0)
+        if not np.allclose(self.matrix[owners, np.arange(self.ranges)], 1.0):
+            raise ValueError("orthogonal targets must put unit mass per range")
+        return owners.astype(np.int64)
+
+
+def orthogonal_targets(boundaries: tuple[int, ...]) -> TargetDistribution:
+    """The canonical OR targets: interface i owns range i (L = I, identity φ).
+
+    >>> targets = orthogonal_targets((232, 1540, 1576))
+    >>> targets.matrix.tolist()
+    [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+    """
+    count = len(boundaries)
+    return TargetDistribution(boundaries, np.eye(count))

@@ -1,0 +1,66 @@
+"""Common defense interface.
+
+Every defense consumes an application trace and produces
+:class:`DefendedTraffic`: the set of *observable flows* an eavesdropper
+can distinguish (per MAC address / virtual interface / channel slice)
+plus byte-overhead accounting.  The attack pipeline then classifies each
+observable flow separately.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.traffic.trace import Trace
+
+__all__ = ["DefendedTraffic", "Defense"]
+
+
+@dataclass(frozen=True)
+class DefendedTraffic:
+    """What the eavesdropper can capture after a defense is applied.
+
+    Attributes:
+        original: the undefended input trace (ground truth).
+        flows: observable sub-flows keyed by an opaque flow id; each is
+            what one "identity" (MAC address / channel slice) emitted.
+        extra_bytes: bytes added beyond the original traffic (padding,
+            fragment headers); 0 for reshaping-style defenses.
+    """
+
+    original: Trace
+    flows: dict[int, Trace]
+    extra_bytes: int = 0
+
+    @property
+    def observable_flows(self) -> list[Trace]:
+        """Flows in id order."""
+        return [self.flows[key] for key in sorted(self.flows)]
+
+    @property
+    def defended_bytes(self) -> int:
+        """Total bytes on the air after the defense."""
+        return sum(flow.total_bytes for flow in self.flows.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra bytes relative to the original traffic (Table VI metric)."""
+        original = self.original.total_bytes
+        if original == 0:
+            return 0.0
+        return self.extra_bytes / original
+
+
+class Defense(abc.ABC):
+    """A traffic-analysis countermeasure applied to one trace."""
+
+    name: str = "defense"
+
+    @abc.abstractmethod
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        """Defend ``trace`` and return the observable flows."""
+
+    def apply_many(self, traces: list[Trace]) -> list[DefendedTraffic]:
+        """Apply the defense to several traces independently."""
+        return [self.apply(trace) for trace in traces]

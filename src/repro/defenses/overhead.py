@@ -1,0 +1,29 @@
+"""Overhead accounting — the efficiency metric of Table VI.
+
+Overhead is reported as the percentage of *extra* bytes a defense puts
+on the air relative to the original traffic it defends:
+
+    overhead % = 100 * (defended_bytes - original_bytes) / original_bytes
+
+Reshaping scores 0 by construction (it only relabels packets); padding
+and morphing pay for every padded byte and fragment header.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import DefendedTraffic
+
+__all__ = ["byte_overhead", "overhead_percent"]
+
+
+def byte_overhead(defended: DefendedTraffic) -> int:
+    """Extra bytes introduced by the defense."""
+    return int(defended.extra_bytes)
+
+
+def overhead_percent(defended: DefendedTraffic) -> float:
+    """Extra bytes as a percentage of the original traffic volume."""
+    original = defended.original.total_bytes
+    if original == 0:
+        return 0.0
+    return 100.0 * defended.extra_bytes / original

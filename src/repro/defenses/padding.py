@@ -1,0 +1,68 @@
+"""Packet padding: the classical (and expensive) defense.
+
+Sec. IV-D: "we pad all the packets to the maximum packet size (i.e.,
+1576 bytes)".  The paper's per-application overheads match
+``l_max / mean_size - 1`` of each application's *data-dominant
+direction* (e.g. chatting: 1576/269.1 - 1 ≈ 485.7 %), so by default we
+pad the data direction only — the uplink for uploading, the downlink
+for every other application — and leave the sparse ack stream alone.
+``pad_both_directions=True`` pads everything, for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import DefendedTraffic, Defense
+from repro.traffic.apps import AppType
+from repro.traffic.packet import DOWNLINK, UPLINK, Direction
+from repro.traffic.sizes import MAX_PACKET_SIZE
+from repro.traffic.trace import Trace
+
+__all__ = ["PacketPadding", "data_direction_of"]
+
+
+def data_direction_of(app: AppType | str | None) -> Direction:
+    """The direction carrying an application's payload data.
+
+    Uploading is "the only application which has low traffic in downlink
+    but high traffic in uplink" (Sec. IV-C); everything else is
+    downlink-dominant.  Unknown labels default to downlink.
+    """
+    if app is None:
+        return DOWNLINK
+    if isinstance(app, str):
+        try:
+            app = AppType(app)
+        except ValueError:
+            return DOWNLINK
+    return UPLINK if app is AppType.UPLOADING else DOWNLINK
+
+
+class PacketPadding(Defense):
+    """Pad packets to a fixed length (default l_max = 1576 bytes)."""
+
+    name = "padding"
+
+    def __init__(
+        self,
+        pad_to: int = MAX_PACKET_SIZE,
+        pad_both_directions: bool = False,
+    ):
+        if pad_to < 1:
+            raise ValueError("pad_to must be positive")
+        self.pad_to = int(pad_to)
+        self.pad_both_directions = bool(pad_both_directions)
+
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        """Pad the data direction (or both) of ``trace`` to ``pad_to`` bytes."""
+        sizes = trace.sizes.copy()
+        if self.pad_both_directions:
+            mask = np.ones(len(trace), dtype=bool)
+        else:
+            direction = data_direction_of(trace.label)
+            mask = trace.directions == int(direction)
+        padded = np.where(mask, np.maximum(sizes, self.pad_to), sizes)
+        defended = trace.with_sizes(padded)
+        extra = int(padded.sum() - sizes.sum())
+        return DefendedTraffic(original=trace, flows={0: defended}, extra_bytes=extra)

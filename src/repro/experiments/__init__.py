@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment module produces the same rows/series the paper reports
+(see DESIGN.md section 4 for the experiment index).  The benchmarks in
+``benchmarks/`` wrap these functions with pytest-benchmark and print the
+regenerated tables next to the published values.
+"""
+
+from repro.experiments.scenarios import EvaluationScenario, SCHEME_NAMES, build_schemes
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.fig1 import figure1_cdf_series
+from repro.experiments.fig45 import figure4_series, figure5_series
+from repro.experiments.table1 import table1_interface_features
+from repro.experiments.tables23 import classification_accuracy_table
+from repro.experiments.table4 import table4_false_positives
+from repro.experiments.table5 import table5_interface_sweep
+from repro.experiments.table6 import table6_efficiency
+from repro.experiments.discussion import (
+    combined_defense_accuracy,
+    reshaping_scalability,
+    tpc_linking_experiment,
+)
+from repro.experiments.window_sweep import WindowSweepResult, window_sweep
+
+__all__ = [
+    "EvaluationScenario",
+    "ExperimentRunner",
+    "WindowSweepResult",
+    "SCHEME_NAMES",
+    "build_schemes",
+    "classification_accuracy_table",
+    "combined_defense_accuracy",
+    "figure1_cdf_series",
+    "figure4_series",
+    "figure5_series",
+    "reshaping_scalability",
+    "table1_interface_features",
+    "table4_false_positives",
+    "table5_interface_sweep",
+    "table6_efficiency",
+    "tpc_linking_experiment",
+    "window_sweep",
+]

@@ -1,0 +1,210 @@
+"""Sec. V experiments: combined defense, TPC vs power analysis, scalability."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.analysis.attack import AttackPipeline
+from repro.analysis.linking import RssiLinker, linking_accuracy
+from repro.core.combined import CombinedDefense
+from repro.core.engine import ReshapingEngine
+from repro.core.schedulers import OrthogonalReshaper
+from repro.experiments.scenarios import EvaluationScenario
+from repro.net.channel import Position
+from repro.net.wlan import WlanSimulation
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator
+
+__all__ = [
+    "CombinedDefenseResult",
+    "combined_defense_accuracy",
+    "TpcLinkingResult",
+    "tpc_linking_experiment",
+    "ScalabilityResult",
+    "reshaping_scalability",
+]
+
+
+# ----------------------------------------------------------------------
+# D-COMB: reshaping + morphing (Sec. V-C)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CombinedDefenseResult:
+    """Accuracy and overhead of OR and OR+morphing side by side."""
+
+    or_accuracy: dict[str, float]
+    combined_accuracy: dict[str, float]
+    or_mean: float
+    combined_mean: float
+    combined_overhead_percent: float
+
+
+def combined_defense_accuracy(
+    scenario: EvaluationScenario | None = None,
+    window: float = 5.0,
+) -> CombinedDefenseResult:
+    """Regenerate the Sec. V-C claim: combined defense mean accuracy < OR's.
+
+    Per the paper's text we morph the small-packet interface (the
+    chatting look-alike) toward gaming and the mid-size interface toward
+    browsing, morphing the downlink only (the ack streams riding the
+    small interface are left alone so downloading/uploading keep their
+    Table II accuracy, as the paper reports).  Under our calibrated
+    models the morph reduces chatting's residual accuracy partially
+    rather than to zero — deviation documented in EXPERIMENTS.md.
+    """
+    scenario = scenario or EvaluationScenario()
+    pipeline = AttackPipeline(window=window, seed=scenario.seed)
+    pipeline.train(scenario.training_traces())
+
+    reshaper = OrthogonalReshaper.paper_default()
+    engine = ReshapingEngine(reshaper)
+    interface_targets = {
+        0: scenario.evaluation_trace(AppType.GAMING),
+        1: scenario.evaluation_trace(AppType.BROWSING),
+    }
+
+    or_flows: dict[str, list] = {}
+    combined_flows: dict[str, list] = {}
+    extra_bytes = 0
+    original_bytes = 0
+    for app in AppType:
+        or_flows[app.value] = []
+        combined_flows[app.value] = []
+        for trace in scenario.evaluation_traces()[app]:
+            original_bytes += trace.total_bytes
+            or_flows[app.value].extend(engine.apply(trace).observable_flows)
+            combined = CombinedDefense(
+                OrthogonalReshaper.paper_default(),
+                interface_targets,
+                seed=scenario.seed,
+            ).apply(trace)
+            combined_flows[app.value].extend(combined.observable_flows)
+            extra_bytes += combined.extra_bytes
+
+    or_report = pipeline.evaluate_flows(or_flows)
+    combined_report = pipeline.evaluate_flows(combined_flows)
+    return CombinedDefenseResult(
+        or_accuracy=or_report.accuracy_by_class,
+        combined_accuracy=combined_report.accuracy_by_class,
+        or_mean=or_report.mean_accuracy,
+        combined_mean=combined_report.mean_accuracy,
+        combined_overhead_percent=100.0 * extra_bytes / max(original_bytes, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# D-TPC: RSSI linking of virtual interfaces, with and without TPC
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TpcLinkingResult:
+    """Pairwise linking accuracy of the RSSI adversary."""
+
+    accuracy_without_tpc: float
+    accuracy_with_tpc: float
+    flows_observed: int
+
+
+def tpc_linking_experiment(
+    seed: int = 0,
+    duration: float = 30.0,
+    stations: int = 3,
+    interfaces: int = 3,
+    tpc_range_db: float = 24.0,
+) -> TpcLinkingResult:
+    """Sec. V-A: can the sniffer link virtual interfaces by RSSI?
+
+    Runs two WLAN simulations — one with fixed transmit power, one with
+    per-packet TPC — each with several stations at distinct distances,
+    all reshaping over ``interfaces`` VAPs.  The RSSI linker then tries
+    to group the observed virtual identities by physical transmitter.
+    """
+
+    def run(tpc: float) -> tuple[float, int]:
+        sim = WlanSimulation.build(seed=seed)
+        generator = TrafficGenerator(seed=seed + 1)
+        linker = RssiLinker(threshold_db=3.0)
+        owners: dict[str, int] = {}
+        for index in range(stations):
+            name = f"sta{index}"
+            position = Position(4.0 + 14.0 * index, 2.0)
+            station = sim.add_station(
+                name,
+                position,
+                scheduler=OrthogonalReshaper.paper_default(interfaces),
+                tpc_range_db=tpc,
+            )
+            sim.configure_virtual_interfaces(station, interfaces)
+            # BT exercises all three OR interfaces in both directions.
+            trace = generator.generate(AppType.BITTORRENT, duration, session=index)
+            sim.replay_trace(name, trace)
+            for virtual in station.driver.vaps.addresses:
+                owners[str(virtual)] = index
+        sim.run()
+        flows = sim.captured_flows()
+        flow_list, owner_list = [], []
+        for address, flow in flows.items():
+            key = str(address)
+            if key not in owners:
+                continue  # physical addresses seen before configuration
+            if math.isnan(linker.flow_signature(flow)):
+                continue  # downlink-only identities carry no client power
+            flow_list.append(flow)
+            owner_list.append(owners[key])
+        groups = linker.link(flow_list)
+        return linking_accuracy(groups, owner_list), len(flow_list)
+
+    accuracy_fixed, observed = run(0.0)
+    accuracy_tpc, _ = run(tpc_range_db)
+    return TpcLinkingResult(
+        accuracy_without_tpc=accuracy_fixed,
+        accuracy_with_tpc=accuracy_tpc,
+        flows_observed=observed,
+    )
+
+
+# ----------------------------------------------------------------------
+# D-SCALE: O(N) scheduling cost (Sec. V-B)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    """Throughput of the OR scheduler across trace sizes."""
+
+    packet_counts: tuple[int, ...]
+    seconds_per_run: tuple[float, ...]
+    packets_per_second: tuple[float, ...]
+
+
+def reshaping_scalability(
+    seed: int = 0,
+    durations: tuple[float, ...] = (30.0, 60.0, 120.0, 240.0),
+) -> ScalabilityResult:
+    """Measure OR's batch scheduling cost as traffic volume grows.
+
+    The paper claims O(N) complexity; the measured packets-per-second
+    rate should stay roughly flat across trace sizes.
+    """
+    generator = TrafficGenerator(seed=seed)
+    engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+    counts, times, rates = [], [], []
+    for duration in durations:
+        trace = generator.generate(AppType.DOWNLOADING, duration)
+        start = time.perf_counter()
+        engine.apply(trace)
+        elapsed = time.perf_counter() - start
+        counts.append(len(trace))
+        times.append(elapsed)
+        rates.append(len(trace) / elapsed if elapsed > 0 else float("inf"))
+    return ScalabilityResult(
+        packet_counts=tuple(counts),
+        seconds_per_run=tuple(times),
+        packets_per_second=tuple(rates),
+    )

@@ -1,0 +1,64 @@
+"""Figures 4 and 5: OR scheduling of a BitTorrent flow.
+
+Figure 4 partitions BT packets over three *size ranges*
+(0, 525], (525, 1050], (1050, 1576]; Figure 5 hashes packets by
+``i = L(s_k) mod I``.  Both figures show per-interface size histograms
+plus the per-interface CDFs against the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import ReshapingEngine
+from repro.core.schedulers import ModuloReshaper, OrthogonalReshaper
+from repro.core.targets import FIG4_RANGES
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.stats import empirical_cdf, size_histogram
+from repro.traffic.trace import Trace
+
+__all__ = ["InterfaceSeries", "figure4_series", "figure5_series"]
+
+
+@dataclass(frozen=True)
+class InterfaceSeries:
+    """The data behind one of the figures."""
+
+    original_histogram: tuple[np.ndarray, np.ndarray]
+    interface_histograms: dict[int, tuple[np.ndarray, np.ndarray]]
+    original_cdf: tuple[np.ndarray, np.ndarray]
+    interface_cdfs: dict[int, tuple[np.ndarray, np.ndarray]]
+    packets_per_interface: dict[int, int]
+
+
+def _series_for(trace: Trace, flows: dict[int, Trace]) -> InterfaceSeries:
+    return InterfaceSeries(
+        original_histogram=size_histogram(trace),
+        interface_histograms={i: size_histogram(f) for i, f in flows.items()},
+        original_cdf=empirical_cdf(trace.sizes),
+        interface_cdfs={i: empirical_cdf(f.sizes) for i, f in flows.items()},
+        packets_per_interface={i: len(f) for i, f in flows.items()},
+    )
+
+
+def _bt_trace(duration: float, seed: int) -> Trace:
+    return TrafficGenerator(seed=seed).generate(AppType.BITTORRENT, duration=duration)
+
+
+def figure4_series(duration: float = 300.0, seed: int = 0) -> InterfaceSeries:
+    """Figure 4: OR over the three equal ranges of a BT flow."""
+    trace = _bt_trace(duration, seed)
+    engine = ReshapingEngine(OrthogonalReshaper.from_boundaries(FIG4_RANGES))
+    result = engine.apply(trace)
+    return _series_for(trace, result.flows)
+
+
+def figure5_series(duration: float = 300.0, seed: int = 0, interfaces: int = 3) -> InterfaceSeries:
+    """Figure 5: OR by size modulo over a BT flow."""
+    trace = _bt_trace(duration, seed)
+    engine = ReshapingEngine(ModuloReshaper(interfaces=interfaces))
+    result = engine.apply(trace)
+    return _series_for(trace, result.flows)

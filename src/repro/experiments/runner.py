@@ -1,0 +1,85 @@
+"""Experiment orchestration: train once, evaluate every scheme.
+
+The runner owns a trained :class:`~repro.analysis.attack.AttackPipeline`
+per eavesdropping window W and evaluates each scheduling scheme by
+reshaping the evaluation traces and classifying the observable flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.attack import AttackPipeline, AttackReport
+from repro.core.base import Reshaper
+from repro.core.engine import ReshapingEngine
+from repro.experiments.scenarios import EvaluationScenario, build_schemes
+from repro.traffic.apps import AppType
+from repro.traffic.trace import Trace
+
+__all__ = ["ExperimentRunner"]
+
+
+@dataclass
+class ExperimentRunner:
+    """Shared machinery for the table experiments."""
+
+    scenario: EvaluationScenario
+    _pipelines: dict[float, AttackPipeline] = field(default_factory=dict, repr=False)
+
+    def pipeline(self, window: float) -> AttackPipeline:
+        """The trained attack pipeline for eavesdropping duration ``window``."""
+        if window not in self._pipelines:
+            pipeline = AttackPipeline(window=window, seed=self.scenario.seed)
+            pipeline.train(self.scenario.training_traces())
+            self._pipelines[window] = pipeline
+        return self._pipelines[window]
+
+    def observable_flows(
+        self,
+        reshaper: Reshaper | None,
+        trace: Trace,
+    ) -> list[Trace]:
+        """What the eavesdropper captures when ``trace`` runs under ``reshaper``."""
+        if reshaper is None:
+            return [trace]
+        engine = ReshapingEngine(reshaper)
+        return engine.apply(trace).observable_flows
+
+    def evaluate_scheme(
+        self,
+        reshaper: Reshaper | None,
+        window: float,
+    ) -> AttackReport:
+        """Attack every application's evaluation sessions under one scheme."""
+        pipeline = self.pipeline(window)
+        flows_by_label: dict[str, list[Trace]] = {}
+        for app, traces in self.scenario.evaluation_traces().items():
+            flows: list[Trace] = []
+            for trace in traces:
+                flows.extend(self.observable_flows(reshaper, trace))
+            flows_by_label[app.value] = flows
+        return pipeline.evaluate_flows(flows_by_label)
+
+    def evaluate_all_schemes(
+        self,
+        window: float,
+        interfaces: int = 3,
+    ) -> dict[str, AttackReport]:
+        """Reports for Original / FH / RA / RR / OR at one window size."""
+        reports: dict[str, AttackReport] = {}
+        for name, reshaper in build_schemes(interfaces, self.scenario.seed).items():
+            reports[name] = self.evaluate_scheme(reshaper, window)
+        return reports
+
+    @staticmethod
+    def app_order() -> tuple[AppType, ...]:
+        """Row order used by every table (br, ch, ga, do, up, vo, bt)."""
+        return (
+            AppType.BROWSING,
+            AppType.CHATTING,
+            AppType.GAMING,
+            AppType.DOWNLOADING,
+            AppType.UPLOADING,
+            AppType.VIDEO,
+            AppType.BITTORRENT,
+        )

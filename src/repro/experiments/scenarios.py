@@ -1,0 +1,92 @@
+"""Evaluation scenarios: the home-WLAN setting of Sec. IV-A.
+
+The scenario object owns the generated corpus (training sessions and an
+evaluation session per application) and the scheduler configurations
+being compared; experiment modules draw everything from here so all
+tables share one consistent setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import Reshaper
+from repro.core.schedulers import (
+    FrequencyHoppingScheduler,
+    OrthogonalReshaper,
+    RandomReshaper,
+    RoundRobinReshaper,
+)
+from repro.traffic.apps import ALL_APPS, AppType
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.trace import Trace
+
+__all__ = ["SCHEME_NAMES", "build_schemes", "EvaluationScenario"]
+
+#: Column order of Tables II/III.
+SCHEME_NAMES: tuple[str, ...] = ("Original", "FH", "RA", "RR", "OR")
+
+
+def build_schemes(interfaces: int = 3, seed: int = 0) -> dict[str, Reshaper | None]:
+    """The four defended schemes of Sec. IV plus the undefended original."""
+    return {
+        "Original": None,
+        "FH": FrequencyHoppingScheduler(channels=(1, 6, 11), dwell=0.5),
+        "RA": RandomReshaper(interfaces=interfaces, seed=seed),
+        "RR": RoundRobinReshaper(interfaces=interfaces),
+        "OR": OrthogonalReshaper.paper_default(interfaces=interfaces),
+    }
+
+
+@dataclass
+class EvaluationScenario:
+    """One home-WLAN evaluation: corpus + scheduler configurations.
+
+    Args:
+        seed: root seed for everything (traces, classifiers, schedulers).
+        train_duration: seconds of traffic per training session per app.
+        eval_duration: seconds of traffic per held-out evaluation session.
+        train_sessions: number of independent training captures per app.
+        eval_sessions: number of held-out captures per app; accuracies
+            average over sessions (the paper's 50 h corpus spans many
+            capture periods, so no single session's rate draw dominates).
+    """
+
+    seed: int = 0
+    train_duration: float = 600.0
+    eval_duration: float = 300.0
+    train_sessions: int = 4
+    eval_sessions: int = 4
+    apps: tuple[AppType, ...] = ALL_APPS
+    _train: dict[AppType, list[Trace]] = field(default_factory=dict, repr=False)
+    _eval: dict[AppType, list[Trace]] = field(default_factory=dict, repr=False)
+
+    def _generator(self) -> TrafficGenerator:
+        return TrafficGenerator(seed=self.seed)
+
+    def training_traces(self) -> dict[str, list[Trace]]:
+        """Per-app undefended training captures (generated lazily, cached)."""
+        if not self._train:
+            generator = self._generator()
+            for app in self.apps:
+                self._train[app] = [
+                    generator.generate(app, self.train_duration, session=s)
+                    for s in range(self.train_sessions)
+                ]
+        return {app.value: traces for app, traces in self._train.items()}
+
+    def evaluation_trace(self, app: AppType, session: int = 0) -> Trace:
+        """One held-out evaluation capture of ``app``."""
+        return self.evaluation_traces()[app][session]
+
+    def evaluation_traces(self) -> dict[AppType, list[Trace]]:
+        """Held-out evaluation captures for every app (cached)."""
+        if not self._eval:
+            generator = self._generator()
+            base = self.train_sessions + 100  # disjoint from training sessions
+            for app in self.apps:
+                self._eval[app] = [
+                    generator.generate(app, self.eval_duration, session=base + s)
+                    for s in range(self.eval_sessions)
+                ]
+        return dict(self._eval)

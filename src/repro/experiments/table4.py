@@ -1,0 +1,56 @@
+"""Table IV: false-positive rates, Original versus OR, W in {5, 60} s."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedulers import OrthogonalReshaper
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import EvaluationScenario
+
+__all__ = ["Table4Result", "table4_false_positives"]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """FP rates keyed by (window, scheme)."""
+
+    fp_rates: dict[tuple[float, str], dict[str, float]]
+    mean_fp: dict[tuple[float, str], float]
+
+    def rows(self) -> list[list[object]]:
+        """One row per app (+ Mean): FP% at (5s orig, 5s OR, 60s orig, 60s OR)."""
+        order = (
+            "browsing",
+            "chatting",
+            "gaming",
+            "downloading",
+            "uploading",
+            "video",
+            "bittorrent",
+        )
+        columns = [(5.0, "Original"), (5.0, "OR"), (60.0, "Original"), (60.0, "OR")]
+        rows: list[list[object]] = []
+        for app in order:
+            rows.append([app] + [self.fp_rates[column][app] for column in columns])
+        rows.append(["Mean"] + [self.mean_fp[column] for column in columns])
+        return rows
+
+
+def table4_false_positives(
+    scenario: EvaluationScenario | None = None,
+    windows: tuple[float, ...] = (5.0, 60.0),
+    interfaces: int = 3,
+) -> Table4Result:
+    """Regenerate Table IV."""
+    scenario = scenario or EvaluationScenario()
+    runner = ExperimentRunner(scenario)
+    fp_rates: dict[tuple[float, str], dict[str, float]] = {}
+    mean_fp: dict[tuple[float, str], float] = {}
+    reshaper = OrthogonalReshaper.paper_default(interfaces)
+    for window in windows:
+        for scheme, engine_reshaper in (("Original", None), ("OR", reshaper)):
+            report = runner.evaluate_scheme(engine_reshaper, window)
+            fp_rates[(window, scheme)] = report.false_positive_by_class
+            mean_fp[(window, scheme)] = report.mean_false_positive
+    return Table4Result(fp_rates=fp_rates, mean_fp=mean_fp)

@@ -1,0 +1,60 @@
+"""Tables II and III: classification accuracy per scheme.
+
+Table II evaluates at W = 5 s, Table III at W = 60 s; both report the
+per-application accuracy and the mean for Original / FH / RA / RR / OR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.attack import AttackReport
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import SCHEME_NAMES, EvaluationScenario
+
+__all__ = ["AccuracyTable", "classification_accuracy_table"]
+
+
+@dataclass(frozen=True)
+class AccuracyTable:
+    """Per-scheme accuracies for one eavesdropping duration."""
+
+    window: float
+    reports: dict[str, AttackReport]
+
+    def accuracy(self, scheme: str, app: str) -> float:
+        """Accuracy (%) of ``app`` under ``scheme``."""
+        return self.reports[scheme].accuracy_by_class[app]
+
+    def mean(self, scheme: str) -> float:
+        """Mean accuracy (%) of ``scheme``."""
+        return self.reports[scheme].mean_accuracy
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: one per app plus a Mean row, columns per scheme."""
+        runner_order = (
+            "browsing",
+            "chatting",
+            "gaming",
+            "downloading",
+            "uploading",
+            "video",
+            "bittorrent",
+        )
+        rows: list[list[object]] = []
+        for app in runner_order:
+            rows.append([app] + [self.accuracy(scheme, app) for scheme in SCHEME_NAMES])
+        rows.append(["Mean"] + [self.mean(scheme) for scheme in SCHEME_NAMES])
+        return rows
+
+
+def classification_accuracy_table(
+    window: float,
+    scenario: EvaluationScenario | None = None,
+    interfaces: int = 3,
+) -> AccuracyTable:
+    """Regenerate Table II (window=5) or Table III (window=60)."""
+    scenario = scenario or EvaluationScenario()
+    runner = ExperimentRunner(scenario)
+    reports = runner.evaluate_all_schemes(window, interfaces)
+    return AccuracyTable(window=window, reports=reports)

@@ -1,0 +1,59 @@
+"""MAC-layer substrate: addresses, frames, virtual interfaces, translation.
+
+Implements the paper's Sec. III-B: the AP-assisted configuration of
+virtual MAC interfaces (Fig. 2) and the bidirectional address
+translation that keeps the defense transparent to upper layers and
+remote servers (Fig. 3).
+"""
+
+from repro.mac.addresses import (
+    MacAddress,
+    collision_probability,
+    privacy_entropy_bits,
+    random_mac,
+)
+from repro.mac.config_protocol import (
+    ConfigReply,
+    ConfigRequest,
+    ConfigurationError,
+    VirtualInterfaceNegotiation,
+)
+from repro.mac.crypto import SharedKeyCipher, IntegrityError
+from repro.mac.frames import (
+    FRAME_HEADER_BYTES,
+    Dot11Frame,
+    FrameType,
+    frame_overhead,
+)
+from repro.mac.pool import AddressPool, PoolExhaustedError
+from repro.mac.resource import ClientGrant, ResourceManager
+from repro.mac.translation import TranslationTable
+from repro.mac.virtual_iface import VirtualInterface, VirtualInterfaceSet
+from repro.mac.driver import ClientDriver
+from repro.mac.ap import AccessPointDataPlane
+
+__all__ = [
+    "AccessPointDataPlane",
+    "AddressPool",
+    "ClientDriver",
+    "ClientGrant",
+    "ResourceManager",
+    "ConfigReply",
+    "ConfigRequest",
+    "ConfigurationError",
+    "Dot11Frame",
+    "FRAME_HEADER_BYTES",
+    "FrameType",
+    "IntegrityError",
+    "MacAddress",
+    "PoolExhaustedError",
+    "SharedKeyCipher",
+    "TranslationTable",
+    "VirtualInterface",
+    "VirtualInterfaceNegotiation",
+    "VirtualInterfaceSet",
+    "collision_probability",
+    "frame_overhead",
+    "privacy_entropy_bits",
+    "random_mac",
+]

@@ -1,0 +1,127 @@
+"""48-bit MAC addresses and the paper's privacy arithmetic.
+
+Sec. III-B-1: the AP assigns virtual MAC addresses drawn at random from
+the 48-bit space; "randomly chosen addresses has a low probability of
+collision in small networks due to the birthday paradox".
+Sec. III-C-3: "If the attacker has no additional information, the
+privacy entropy H is equal to log2 N" for N addresses in the WLAN.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MacAddress",
+    "random_mac",
+    "collision_probability",
+    "privacy_entropy_bits",
+]
+
+_MAC_SPACE_BITS = 48
+_MAC_SPACE = 1 << _MAC_SPACE_BITS
+
+#: Locally-administered bit (bit 1 of the first octet): set on virtual
+#: addresses so they can never collide with burned-in global addresses.
+_LOCAL_BIT = 1 << 41
+#: Multicast/group bit (bit 0 of the first octet): must be clear for a
+#: unicast station address.
+_MULTICAST_BIT = 1 << 40
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """An immutable 48-bit MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < _MAC_SPACE:
+            raise ValueError(f"MAC address out of 48-bit range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse 'aa:bb:cc:dd:ee:ff' notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(part, 16) for part in parts]
+        except ValueError as exc:
+            raise ValueError(f"malformed MAC address: {text!r}") from exc
+        if any(not 0 <= octet <= 0xFF for octet in octets):
+            raise ValueError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the locally-administered bit is set."""
+        return bool(self.value & _LOCAL_BIT)
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit is set."""
+        return bool(self.value & _MULTICAST_BIT)
+
+    def to_bytes(self) -> bytes:
+        """Big-endian 6-byte encoding."""
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{octet:02x}" for octet in raw)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+def random_mac(rng: np.random.Generator, locally_administered: bool = True) -> MacAddress:
+    """Draw a uniform unicast MAC address.
+
+    Virtual addresses are marked locally administered (as a real driver
+    would) and are always unicast.
+    """
+    value = int(rng.integers(0, _MAC_SPACE))
+    value &= ~_MULTICAST_BIT
+    if locally_administered:
+        value |= _LOCAL_BIT
+    else:
+        value &= ~_LOCAL_BIT
+    return MacAddress(value)
+
+
+def collision_probability(n_addresses: int, space_bits: int = _MAC_SPACE_BITS) -> float:
+    """Birthday-bound probability that ``n_addresses`` random MACs collide.
+
+    The paper states the collision probability for N addresses in the
+    48-bit space as ``1 - 2^48! / (2^48^N (2^48 - N)!)``; we evaluate the
+    numerically stable equivalent ``1 - exp(sum log(1 - i/2^48))``.
+    """
+    if n_addresses < 0:
+        raise ValueError("n_addresses must be non-negative")
+    if n_addresses < 2:
+        return 0.0
+    space = float(1 << space_bits)
+    if n_addresses > space:
+        return 1.0
+    log_no_collision = 0.0
+    if n_addresses < 1_000_000:
+        indices = np.arange(1, n_addresses, dtype=np.float64)
+        log_no_collision = float(np.log1p(-indices / space).sum())
+    else:
+        # For very large N use the quadratic approximation.
+        log_no_collision = -n_addresses * (n_addresses - 1) / (2.0 * space)
+    return float(-math.expm1(log_no_collision))
+
+
+def privacy_entropy_bits(n_addresses: int) -> float:
+    """Privacy entropy H = log2(N) of Sec. III-C-3."""
+    if n_addresses < 1:
+        raise ValueError("n_addresses must be >= 1")
+    return math.log2(n_addresses)

@@ -1,0 +1,85 @@
+"""Access-point data plane.
+
+The AP half of Fig. 3: on uplink frames it translates virtual source
+addresses back to the client's physical address before forwarding to the
+distribution system; on downlink packets it runs the reshaping scheduler
+to pick a virtual interface and rewrites the destination accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Dot11Frame
+from repro.mac.translation import TranslationTable
+
+__all__ = ["AccessPointDataPlane"]
+
+
+@dataclass
+class AccessPointDataPlane:
+    """Forwarding and translation state of one AP.
+
+    Attributes:
+        address: the AP's own MAC address (BSSID).
+        translation: virtual-to-physical bindings for every client.
+        schedulers: per-physical-client reshaping schedulers for the
+            downlink direction (the algorithm "is running on both the
+            client and AP side", Sec. III-C-1).
+    """
+
+    address: MacAddress
+    translation: TranslationTable = field(default_factory=TranslationTable)
+    schedulers: dict[MacAddress, object] = field(default_factory=dict)
+    forwarded_to_ds: list[Dot11Frame] = field(default_factory=list)
+
+    def register_client(
+        self,
+        physical: MacAddress,
+        virtual_addresses: list[MacAddress],
+        scheduler=None,
+    ) -> None:
+        """Install the bindings negotiated in the Fig. 2 handshake."""
+        self.translation.register(physical, virtual_addresses)
+        if scheduler is not None:
+            self.schedulers[physical] = scheduler
+
+    def deregister_client(self, physical: MacAddress) -> list[MacAddress]:
+        """Tear down a client's bindings (AP-side recycle)."""
+        self.schedulers.pop(physical, None)
+        return self.translation.unregister(physical)
+
+    def uses_virtual_interfaces(self, destination: MacAddress) -> bool:
+        """AP check on the downlink path (Fig. 3): does ``destination`` reshape?"""
+        return self.translation.has_client(destination)
+
+    # -- uplink: client -> AP -> distribution system -------------------------
+
+    def receive_uplink(self, frame: Dot11Frame) -> Dot11Frame:
+        """Translate a virtual source to the physical address and forward."""
+        translated = self.translation.translate_uplink(frame)
+        self.forwarded_to_ds.append(translated)
+        return translated
+
+    # -- downlink: distribution system -> AP -> client ------------------------
+
+    def transmit_downlink(self, frame: Dot11Frame) -> Dot11Frame:
+        """Pick a virtual interface for the destination and rewrite it.
+
+        Frames for clients without virtual interfaces pass through
+        unchanged ("If not, it sends the packet to the destination as
+        usual").
+        """
+        if not self.uses_virtual_interfaces(frame.dst):
+            return frame
+        scheduler = self.schedulers.get(frame.dst)
+        iface_count = len(self.translation.virtuals_of(frame.dst))
+        if scheduler is None:
+            iface_index = 0
+        else:
+            iface_index = int(
+                scheduler.assign_packet(time=frame.time, size=frame.size, direction=0)
+            )
+            iface_index %= iface_count
+        return self.translation.translate_downlink(frame, iface_index)

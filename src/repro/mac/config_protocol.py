@@ -1,0 +1,177 @@
+"""The virtual-interface configuration handshake (Fig. 2).
+
+Four steps:
+
+1. the client sends an encrypted request ``{uni_addr | nonce}``;
+2. the AP chooses the number of interfaces ``I`` from the client's
+   privacy requirement and its own resource availability;
+3. the AP draws unused addresses from its local MAC address pool;
+4. the AP replies with ``{uni_addr | nonce, virtual MAC addresses}``,
+   encrypted, and the client verifies the nonce before configuring.
+
+Both messages travel inside encrypted payloads so a sniffer never
+learns the physical-to-virtual mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mac.addresses import MacAddress
+from repro.mac.crypto import IntegrityError, SharedKeyCipher
+from repro.mac.pool import AddressPool
+
+__all__ = [
+    "ConfigRequest",
+    "ConfigReply",
+    "ConfigurationError",
+    "VirtualInterfaceNegotiation",
+]
+
+
+class ConfigurationError(RuntimeError):
+    """Raised on protocol violations (bad nonce, tampering, bad counts)."""
+
+
+@dataclass(frozen=True)
+class ConfigRequest:
+    """Step 1: client's encrypted request for virtual interfaces."""
+
+    physical_address: MacAddress
+    nonce: int
+    requested_interfaces: int
+
+    def encode(self, cipher: SharedKeyCipher) -> bytes:
+        """Serialize and encrypt under the shared key."""
+        body = json.dumps(
+            {
+                "uni_addr": str(self.physical_address),
+                "nonce": self.nonce,
+                "interfaces": self.requested_interfaces,
+            }
+        ).encode("utf-8")
+        return cipher.encrypt(body, nonce=self.nonce & 0xFFFFFFFF)
+
+    @classmethod
+    def decode(cls, wire: bytes, cipher: SharedKeyCipher, nonce_hint: int) -> "ConfigRequest":
+        """Decrypt and parse; ``nonce_hint`` keys the stream cipher."""
+        try:
+            body = cipher.decrypt(wire, nonce=nonce_hint & 0xFFFFFFFF)
+        except IntegrityError as exc:
+            raise ConfigurationError("request failed authentication") from exc
+        data = json.loads(body)
+        return cls(
+            physical_address=MacAddress.parse(data["uni_addr"]),
+            nonce=int(data["nonce"]),
+            requested_interfaces=int(data["interfaces"]),
+        )
+
+
+@dataclass(frozen=True)
+class ConfigReply:
+    """Step 4: AP's encrypted reply echoing the nonce."""
+
+    physical_address: MacAddress
+    nonce: int
+    virtual_addresses: tuple[MacAddress, ...]
+
+    def encode(self, cipher: SharedKeyCipher) -> bytes:
+        """Serialize and encrypt under the shared key."""
+        body = json.dumps(
+            {
+                "uni_addr": str(self.physical_address),
+                "nonce": self.nonce,
+                "virtual": [str(address) for address in self.virtual_addresses],
+            }
+        ).encode("utf-8")
+        return cipher.encrypt(body, nonce=(self.nonce + 1) & 0xFFFFFFFF)
+
+    @classmethod
+    def decode(cls, wire: bytes, cipher: SharedKeyCipher, nonce_hint: int) -> "ConfigReply":
+        """Decrypt and parse; raises on tampering."""
+        try:
+            body = cipher.decrypt(wire, nonce=(nonce_hint + 1) & 0xFFFFFFFF)
+        except IntegrityError as exc:
+            raise ConfigurationError("reply failed authentication") from exc
+        data = json.loads(body)
+        return cls(
+            physical_address=MacAddress.parse(data["uni_addr"]),
+            nonce=int(data["nonce"]),
+            virtual_addresses=tuple(MacAddress.parse(a) for a in data["virtual"]),
+        )
+
+
+class VirtualInterfaceNegotiation:
+    """Executes the four-step handshake between one client and its AP.
+
+    The AP side enforces its resource policy: it grants
+    ``min(requested, max_interfaces_per_client)`` interfaces (Sec. III-B-1,
+    "determined by the privacy requirement and the resource
+    availability"), always at least one.
+    """
+
+    def __init__(
+        self,
+        cipher: SharedKeyCipher,
+        pool: AddressPool,
+        max_interfaces_per_client: int = 8,
+    ):
+        if max_interfaces_per_client < 1:
+            raise ValueError("max_interfaces_per_client must be >= 1")
+        self._cipher = cipher
+        self._pool = pool
+        self._max_interfaces = int(max_interfaces_per_client)
+        self._seen_nonces: set[tuple[MacAddress, int]] = set()
+
+    # -- client side ----------------------------------------------------
+
+    def build_request(
+        self,
+        physical_address: MacAddress,
+        interfaces: int,
+        rng: np.random.Generator,
+    ) -> tuple[ConfigRequest, bytes]:
+        """Client step 1: create the request and its wire encoding."""
+        if interfaces < 1:
+            raise ValueError("must request at least one interface")
+        nonce = int(rng.integers(1, 1 << 62))
+        request = ConfigRequest(physical_address, nonce, interfaces)
+        return request, request.encode(self._cipher)
+
+    def verify_reply(self, request: ConfigRequest, reply_wire: bytes) -> ConfigReply:
+        """Client step 4: check the nonce echo before configuring VAPs."""
+        reply = ConfigReply.decode(reply_wire, self._cipher, request.nonce)
+        if reply.nonce != request.nonce:
+            raise ConfigurationError(
+                f"nonce mismatch: sent {request.nonce}, got {reply.nonce}"
+            )
+        if reply.physical_address != request.physical_address:
+            raise ConfigurationError("reply addressed to a different client")
+        if not reply.virtual_addresses:
+            raise ConfigurationError("AP granted zero interfaces")
+        return reply
+
+    # -- AP side ---------------------------------------------------------
+
+    def handle_request(self, request_wire: bytes, nonce_hint: int) -> tuple[ConfigReply, bytes]:
+        """AP steps 2-4: grant interfaces, draw addresses, build the reply.
+
+        ``nonce_hint`` models the out-of-band nonce the session carries
+        (e.g. the WPA packet number); replayed nonces are rejected.
+        """
+        request = ConfigRequest.decode(request_wire, self._cipher, nonce_hint)
+        key = (request.physical_address, request.nonce)
+        if key in self._seen_nonces:
+            raise ConfigurationError("replayed configuration request")
+        self._seen_nonces.add(key)
+        granted = max(1, min(request.requested_interfaces, self._max_interfaces))
+        addresses = self._pool.allocate(str(request.physical_address), granted)
+        reply = ConfigReply(request.physical_address, request.nonce, tuple(addresses))
+        return reply, reply.encode(self._cipher)
+
+    def revoke(self, physical_address: MacAddress) -> int:
+        """AP: recycle every virtual address held by a departing client."""
+        return self._pool.release_owner(str(physical_address))

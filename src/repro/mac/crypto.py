@@ -1,0 +1,70 @@
+"""Toy authenticated encryption for configuration frames.
+
+The paper requires that "the packets used in configuration are
+encrypted, thus the adversary does not know the mapping between the
+physical address and the virtual MAC addresses" (Sec. III-B-1).  What
+matters to the reproduction is the *protocol property* (confidentiality
+plus integrity of the mapping), not cryptographic strength, so we use a
+compact SHA-256-based stream cipher with an appended keyed MAC.  This is
+NOT a real cipher and must never be used outside this simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["SharedKeyCipher", "IntegrityError"]
+
+_TAG_BYTES = 16
+
+
+class IntegrityError(ValueError):
+    """Raised when a ciphertext fails authentication."""
+
+
+class SharedKeyCipher:
+    """Symmetric encrypt-then-MAC over a pre-shared key.
+
+    >>> cipher = SharedKeyCipher(b"wlan-psk")
+    >>> wire = cipher.encrypt(b"hello", nonce=7)
+    >>> cipher.decrypt(wire, nonce=7)
+    b'hello'
+    """
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._enc_key = hashlib.sha256(b"enc|" + key).digest()
+        self._mac_key = hashlib.sha256(b"mac|" + key).digest()
+
+    def _keystream(self, nonce: int, length: int) -> bytes:
+        blocks = []
+        counter = 0
+        while sum(len(block) for block in blocks) < length:
+            seed = self._enc_key + nonce.to_bytes(8, "big") + counter.to_bytes(4, "big")
+            blocks.append(hashlib.sha256(seed).digest())
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes, nonce: int) -> bytes:
+        """Encrypt ``plaintext`` under ``nonce`` and append a MAC tag."""
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac.new(
+            self._mac_key, nonce.to_bytes(8, "big") + body, hashlib.sha256
+        ).digest()[:_TAG_BYTES]
+        return body + tag
+
+    def decrypt(self, wire: bytes, nonce: int) -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on tampering."""
+        if len(wire) < _TAG_BYTES:
+            raise IntegrityError("ciphertext too short")
+        body, tag = wire[:-_TAG_BYTES], wire[-_TAG_BYTES:]
+        expected = hmac.new(
+            self._mac_key, nonce.to_bytes(8, "big") + body, hashlib.sha256
+        ).digest()[:_TAG_BYTES]
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("MAC verification failed")
+        stream = self._keystream(nonce, len(body))
+        return bytes(c ^ s for c, s in zip(body, stream))

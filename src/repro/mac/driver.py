@@ -1,0 +1,115 @@
+"""Client-side wireless driver model.
+
+Ties together the client half of the paper's design: the configuration
+handshake (Fig. 2), the VAP set, the reshaping scheduler, and the
+receive-path address restoration (Fig. 3).  The driver is deliberately
+small — traffic reshaping "executes in the MAC layer, hence, we only
+need to modify [the] wireless device driver to support it" (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mac.addresses import MacAddress
+from repro.mac.config_protocol import ConfigReply, ConfigRequest, VirtualInterfaceNegotiation
+from repro.mac.frames import Dot11Frame, FrameType, frame_overhead
+from repro.mac.translation import TranslationTable
+from repro.mac.virtual_iface import VirtualInterfaceSet
+
+__all__ = ["ClientDriver"]
+
+
+class ClientDriver:
+    """The modified MAC-layer driver of one wireless client.
+
+    The driver owns the client's VAP set and, on transmit, asks the
+    reshaping scheduler (any object with ``assign_packet(time, size,
+    direction) -> int``, see :mod:`repro.core`) which virtual interface
+    carries each packet.
+    """
+
+    def __init__(self, physical_address: MacAddress, scheduler=None):
+        self.physical_address = physical_address
+        self.scheduler = scheduler
+        self.vaps: VirtualInterfaceSet | None = None
+        self._translation = TranslationTable()
+        self._pending_request: ConfigRequest | None = None
+        self.delivered_to_upper: list[Dot11Frame] = []
+
+    # -- configuration ----------------------------------------------------
+
+    def request_interfaces(
+        self,
+        negotiation: VirtualInterfaceNegotiation,
+        interfaces: int,
+        rng: np.random.Generator,
+    ) -> bytes:
+        """Start the Fig. 2 handshake; returns the encrypted request wire."""
+        request, wire = negotiation.build_request(self.physical_address, interfaces, rng)
+        self._pending_request = request
+        return wire
+
+    def complete_configuration(
+        self,
+        negotiation: VirtualInterfaceNegotiation,
+        reply_wire: bytes,
+        channel: int = 1,
+    ) -> ConfigReply:
+        """Finish the handshake: verify the nonce and configure VAPs."""
+        if self._pending_request is None:
+            raise RuntimeError("no configuration request in flight")
+        reply = negotiation.verify_reply(self._pending_request, reply_wire)
+        self.vaps = VirtualInterfaceSet.configure(
+            self.physical_address, list(reply.virtual_addresses), channel
+        )
+        self._translation = TranslationTable()
+        self._translation.register(self.physical_address, list(reply.virtual_addresses))
+        self._pending_request = None
+        return reply
+
+    @property
+    def is_configured(self) -> bool:
+        """True once VAPs are configured."""
+        return self.vaps is not None
+
+    @property
+    def interface_count(self) -> int:
+        """Number of configured virtual interfaces (0 before configuration)."""
+        return len(self.vaps) if self.vaps else 0
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, dst: MacAddress, payload_size: int, time: float) -> Dot11Frame:
+        """Transmit one packet, choosing the VAP via the reshaping scheduler."""
+        if self.vaps is None:
+            raise RuntimeError("driver not configured; run the handshake first")
+        if self.scheduler is None:
+            iface_index = 0
+        else:
+            # The scheduler partitions by the on-air MAC frame size (what
+            # the eavesdropper observes), not the payload alone.
+            on_air_size = payload_size + frame_overhead(FrameType.DATA)
+            iface_index = int(
+                self.scheduler.assign_packet(time=time, size=on_air_size, direction=1)
+            )
+            iface_index %= len(self.vaps)
+        return self.vaps.encapsulate(iface_index, dst, payload_size, time)
+
+    def receive(self, frame: Dot11Frame) -> Dot11Frame | None:
+        """Receive path: accept frames for any VAP, restore the physical dst.
+
+        Returns the frame delivered to upper layers (with the physical
+        address restored) or None when the frame is not for this client.
+        """
+        if self.vaps is None:
+            if frame.dst != self.physical_address:
+                return None
+            self.delivered_to_upper.append(frame)
+            return frame
+        iface = self.vaps.accept(frame)
+        if iface is None:
+            return None
+        delivered = self._translation.restore_at_client(frame)
+        self.delivered_to_upper.append(delivered)
+        return delivered

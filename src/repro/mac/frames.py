@@ -1,0 +1,88 @@
+"""802.11 MAC frame model.
+
+Frames carry the fields the attack can observe (addresses, size, type,
+channel) plus an opaque payload.  Sizes follow the 802.11 data-frame
+layout: a 24-byte MAC header, 8-byte LLC/SNAP, and 4-byte FCS around the
+payload — the ~36 bytes of per-frame overhead that make the paper's
+MAC-layer maximum frame 1576 bytes for a 1500-byte MTU plus
+encapsulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.mac.addresses import MacAddress
+
+__all__ = ["FrameType", "FRAME_HEADER_BYTES", "frame_overhead", "Dot11Frame"]
+
+
+class FrameType(enum.Enum):
+    """Observable 802.11 frame classes."""
+
+    DATA = "data"
+    MANAGEMENT = "management"
+    CONTROL = "control"
+
+
+#: MAC header (24) + LLC/SNAP (8) + FCS (4).
+FRAME_HEADER_BYTES = 36
+
+
+def frame_overhead(frame_type: FrameType = FrameType.DATA) -> int:
+    """Per-frame byte overhead added on top of the payload."""
+    if frame_type is FrameType.CONTROL:
+        return 16  # control frames are header-only (ACK/RTS size scale)
+    return FRAME_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Dot11Frame:
+    """One simulated 802.11 frame.
+
+    Attributes:
+        src: transmitter MAC address (a virtual address under reshaping).
+        dst: receiver MAC address.
+        payload_size: bytes of payload carried (0 for control frames).
+        frame_type: data / management / control.
+        time: transmission timestamp (seconds).
+        channel: 802.11 channel number.
+        tx_power_dbm: transmit power (per-packet TPC, Sec. V-A).
+        payload: opaque payload bytes (configuration messages ride here;
+            data frames usually carry ``b""`` plus a ``payload_size``).
+        meta: free-form annotations (ground-truth labels for evaluation).
+    """
+
+    src: MacAddress
+    dst: MacAddress
+    payload_size: int
+    frame_type: FrameType = FrameType.DATA
+    time: float = 0.0
+    channel: int = 1
+    tx_power_dbm: float = 15.0
+    payload: bytes = b""
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be >= 0")
+        if self.payload and self.payload_size < len(self.payload):
+            raise ValueError("payload_size smaller than actual payload")
+
+    @property
+    def size(self) -> int:
+        """Total on-air frame size in bytes (header + payload)."""
+        return self.payload_size + frame_overhead(self.frame_type)
+
+    def with_src(self, src: MacAddress) -> "Dot11Frame":
+        """Return a copy with the source address rewritten (translation)."""
+        return replace(self, src=src)
+
+    def with_dst(self, dst: MacAddress) -> "Dot11Frame":
+        """Return a copy with the destination address rewritten."""
+        return replace(self, dst=dst)
+
+    def with_time(self, time: float) -> "Dot11Frame":
+        """Return a copy stamped at ``time``."""
+        return replace(self, time=time)

@@ -1,0 +1,99 @@
+"""The AP's local MAC address pool (Fig. 2, step 3).
+
+The pool hands out unused random addresses, tracks which client owns
+which virtual address, and recycles addresses when virtual interfaces
+are torn down ("The AP is able to recycle and dynamically configure
+virtual MAC interfaces according to the change of resource availability
+and client requirements", Sec. III-B-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mac.addresses import MacAddress, random_mac
+
+__all__ = ["AddressPool", "PoolExhaustedError"]
+
+
+class PoolExhaustedError(RuntimeError):
+    """Raised when the pool cannot produce a fresh unused address."""
+
+
+class AddressPool:
+    """Allocates unused virtual MAC addresses for an access point.
+
+    Args:
+        rng: source of randomness for address draws.
+        reserved: addresses that must never be handed out (e.g. the
+            physical addresses of associated stations and of the AP).
+        max_draw_attempts: defensive bound on rejection sampling; the
+            48-bit space makes collisions vanishingly rare, so hitting
+            the bound indicates a logic error and raises.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        reserved: set[MacAddress] | None = None,
+        max_draw_attempts: int = 64,
+    ):
+        self._rng = rng
+        self._reserved = set(reserved or ())
+        self._allocated: dict[MacAddress, str] = {}
+        self._max_draw_attempts = int(max_draw_attempts)
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of currently allocated addresses."""
+        return len(self._allocated)
+
+    def is_allocated(self, address: MacAddress) -> bool:
+        """True when ``address`` is currently allocated."""
+        return address in self._allocated
+
+    def owner_of(self, address: MacAddress) -> str | None:
+        """Client id owning ``address``, or None."""
+        return self._allocated.get(address)
+
+    def reserve(self, address: MacAddress) -> None:
+        """Mark an external address (e.g. a station's physical MAC) as in use."""
+        self._reserved.add(address)
+
+    def allocate(self, owner: str, count: int) -> list[MacAddress]:
+        """Allocate ``count`` fresh unused addresses to ``owner``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        addresses: list[MacAddress] = []
+        for _ in range(count):
+            addresses.append(self._draw_unused(owner))
+        return addresses
+
+    def release(self, address: MacAddress) -> None:
+        """Return ``address`` to the unused state."""
+        if address not in self._allocated:
+            raise KeyError(f"address {address} is not allocated")
+        del self._allocated[address]
+
+    def release_owner(self, owner: str) -> int:
+        """Release every address held by ``owner``; returns the count."""
+        held = [addr for addr, who in self._allocated.items() if who == owner]
+        for address in held:
+            del self._allocated[address]
+        return len(held)
+
+    def addresses_of(self, owner: str) -> list[MacAddress]:
+        """All addresses currently held by ``owner``."""
+        return [addr for addr, who in self._allocated.items() if who == owner]
+
+    def _draw_unused(self, owner: str) -> MacAddress:
+        for _ in range(self._max_draw_attempts):
+            candidate = random_mac(self._rng)
+            if candidate in self._reserved or candidate in self._allocated:
+                continue
+            self._allocated[candidate] = owner
+            return candidate
+        raise PoolExhaustedError(
+            f"failed to draw an unused MAC address after "
+            f"{self._max_draw_attempts} attempts"
+        )

@@ -1,0 +1,168 @@
+"""AP-side resource management for virtual interfaces.
+
+Sec. III-B-1/V-B: the AP chooses how many interfaces to grant
+"determined by the privacy requirement and the resource availability"
+and "can dynamically distribute and configure the virtual interfaces for
+each client according to the resource availability and privacy
+requirement".  This module implements that policy layer on top of the
+address pool: a budget of simultaneous virtual addresses, per-client
+grants balancing requests against headroom, and reclamation of idle
+clients.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.mac.addresses import MacAddress
+from repro.mac.pool import AddressPool
+from repro.util.validation import require
+
+__all__ = ["ClientGrant", "ResourceManager"]
+
+
+@dataclass
+class ClientGrant:
+    """One client's current allocation."""
+
+    physical: MacAddress
+    addresses: list[MacAddress]
+    requested: int
+    granted_at: float
+    last_activity: float
+
+    @property
+    def interfaces(self) -> int:
+        """Number of virtual interfaces currently granted."""
+        return len(self.addresses)
+
+
+class ResourceManager:
+    """Grants, resizes and reclaims virtual-interface allocations.
+
+    Args:
+        pool: the AP's address pool.
+        budget: maximum simultaneous virtual addresses across clients.
+        max_per_client: cap on any single client's grant.
+        min_per_client: floor (a reshaping client needs >= 2 to hide
+            anything; the paper's default is 3).
+        idle_timeout: clients silent longer than this are reclaimed.
+        clock: time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        pool: AddressPool,
+        budget: int = 64,
+        max_per_client: int = 8,
+        min_per_client: int = 2,
+        idle_timeout: float = 600.0,
+        clock=_time.monotonic,
+    ):
+        require(budget >= min_per_client, "budget must cover at least one client")
+        require(1 <= min_per_client <= max_per_client, "bad per-client bounds")
+        self._pool = pool
+        self._budget = int(budget)
+        self._max = int(max_per_client)
+        self._min = int(min_per_client)
+        self._idle_timeout = float(idle_timeout)
+        self._clock = clock
+        self._grants: dict[MacAddress, ClientGrant] = {}
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def allocated(self) -> int:
+        """Virtual addresses currently granted."""
+        return sum(grant.interfaces for grant in self._grants.values())
+
+    @property
+    def headroom(self) -> int:
+        """Addresses still available under the budget."""
+        return self._budget - self.allocated
+
+    def grant_of(self, physical: MacAddress) -> ClientGrant | None:
+        """The client's current grant, or None."""
+        return self._grants.get(physical)
+
+    # -- policy -------------------------------------------------------------
+
+    def decide_grant(self, requested: int) -> int:
+        """How many interfaces a new request gets.
+
+        The request is clipped to the per-client cap, then to the
+        remaining budget; a client gets at least ``min_per_client`` when
+        any headroom exists, else zero (the AP refuses).
+        """
+        if requested < 1:
+            raise ValueError("requested must be >= 1")
+        if self.headroom < self._min:
+            return 0
+        return max(self._min, min(requested, self._max, self.headroom))
+
+    def admit(self, physical: MacAddress, requested: int) -> ClientGrant | None:
+        """Admit a client, allocating addresses; None when out of budget."""
+        if physical in self._grants:
+            raise ValueError(f"client {physical} already admitted")
+        granted = self.decide_grant(requested)
+        if granted == 0:
+            return None
+        addresses = self._pool.allocate(str(physical), granted)
+        now = self._clock()
+        grant = ClientGrant(
+            physical=physical,
+            addresses=addresses,
+            requested=requested,
+            granted_at=now,
+            last_activity=now,
+        )
+        self._grants[physical] = grant
+        return grant
+
+    def touch(self, physical: MacAddress) -> None:
+        """Record client activity (resets the idle timer)."""
+        grant = self._grants.get(physical)
+        if grant is not None:
+            grant.last_activity = self._clock()
+
+    def release(self, physical: MacAddress) -> int:
+        """Release a departing client's grant; returns the freed count."""
+        grant = self._grants.pop(physical, None)
+        if grant is None:
+            return 0
+        return self._pool.release_owner(str(physical))
+
+    def reclaim_idle(self) -> list[MacAddress]:
+        """Recycle every client idle beyond the timeout (Sec. III-B-1)."""
+        now = self._clock()
+        expired = [
+            physical
+            for physical, grant in self._grants.items()
+            if now - grant.last_activity > self._idle_timeout
+        ]
+        for physical in expired:
+            self.release(physical)
+        return expired
+
+    def rebalance(self) -> dict[MacAddress, int]:
+        """Top up under-served clients from the current headroom.
+
+        Clients that requested more than they hold get extra addresses,
+        round-robin in admission order, until the budget is exhausted.
+        Returns the number of addresses added per client.
+        """
+        additions: dict[MacAddress, int] = {}
+        progress = True
+        while self.headroom > 0 and progress:
+            progress = False
+            for physical, grant in self._grants.items():
+                if self.headroom <= 0:
+                    break
+                ceiling = min(grant.requested, self._max)
+                if grant.interfaces < ceiling:
+                    [address] = self._pool.allocate(str(physical), 1)
+                    grant.addresses.append(address)
+                    additions[physical] = additions.get(physical, 0) + 1
+                    progress = True
+        return additions

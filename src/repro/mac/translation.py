@@ -1,0 +1,93 @@
+"""Bidirectional MAC address translation (Fig. 3).
+
+On the uplink the AP replaces a virtual source address with the client's
+unique physical address before forwarding ("the MAC address translation
+should be done in order to circumvent the ARP protocol, hence the remote
+servers do not need any modifications").  On the downlink the AP swaps
+the physical destination for the virtual address the reshaping algorithm
+picked; the client's MAC layer accepts any of its virtual addresses and
+restores the physical one before handing packets to upper layers.
+"""
+
+from __future__ import annotations
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Dot11Frame
+
+__all__ = ["TranslationTable"]
+
+
+class TranslationTable:
+    """Maps virtual MAC addresses to one physical address and back."""
+
+    def __init__(self) -> None:
+        self._virtual_to_physical: dict[MacAddress, MacAddress] = {}
+        self._physical_to_virtual: dict[MacAddress, list[MacAddress]] = {}
+
+    def register(self, physical: MacAddress, virtual_addresses: list[MacAddress]) -> None:
+        """Bind ``virtual_addresses`` to ``physical``.
+
+        A virtual address may belong to only one physical client at a
+        time; re-binding raises ``ValueError``.
+        """
+        for virtual in virtual_addresses:
+            existing = self._virtual_to_physical.get(virtual)
+            if existing is not None and existing != physical:
+                raise ValueError(
+                    f"virtual address {virtual} already bound to {existing}"
+                )
+        bucket = self._physical_to_virtual.setdefault(physical, [])
+        for virtual in virtual_addresses:
+            if virtual not in bucket:
+                bucket.append(virtual)
+            self._virtual_to_physical[virtual] = physical
+
+    def unregister(self, physical: MacAddress) -> list[MacAddress]:
+        """Remove every binding of ``physical``; returns the freed addresses."""
+        freed = self._physical_to_virtual.pop(physical, [])
+        for virtual in freed:
+            self._virtual_to_physical.pop(virtual, None)
+        return freed
+
+    def physical_of(self, virtual: MacAddress) -> MacAddress | None:
+        """Physical owner of ``virtual`` (None when unknown)."""
+        return self._virtual_to_physical.get(virtual)
+
+    def virtuals_of(self, physical: MacAddress) -> list[MacAddress]:
+        """Virtual addresses bound to ``physical`` (ordered by interface index)."""
+        return list(self._physical_to_virtual.get(physical, []))
+
+    def is_virtual(self, address: MacAddress) -> bool:
+        """True when ``address`` is a known virtual address."""
+        return address in self._virtual_to_physical
+
+    def has_client(self, physical: MacAddress) -> bool:
+        """True when ``physical`` has registered virtual interfaces."""
+        return physical in self._physical_to_virtual
+
+    # -- frame-level helpers ----------------------------------------------
+
+    def translate_uplink(self, frame: Dot11Frame) -> Dot11Frame:
+        """AP receive path: rewrite a virtual source to the physical address."""
+        physical = self.physical_of(frame.src)
+        if physical is None:
+            return frame
+        return frame.with_src(physical)
+
+    def translate_downlink(self, frame: Dot11Frame, iface_index: int) -> Dot11Frame:
+        """AP transmit path: rewrite the physical destination to VAP ``iface_index``."""
+        virtuals = self.virtuals_of(frame.dst)
+        if not virtuals:
+            return frame
+        if not 0 <= iface_index < len(virtuals):
+            raise IndexError(
+                f"iface index {iface_index} out of range for {len(virtuals)} VAPs"
+            )
+        return frame.with_dst(virtuals[iface_index])
+
+    def restore_at_client(self, frame: Dot11Frame) -> Dot11Frame:
+        """Client receive path: restore the physical destination address."""
+        physical = self.physical_of(frame.dst)
+        if physical is None:
+            return frame
+        return frame.with_dst(physical)

@@ -1,0 +1,142 @@
+"""Virtual MAC interfaces (MadWifi-style VAPs).
+
+"Virtual interfaces are configured with different MAC addresses, but
+work in the same channel and keep association with the same AP. ...
+each interface is treated as a fully functional, regular network
+interface, but only one adapter is active at any given time"
+(Sec. III-A).  The :class:`VirtualInterfaceSet` models that constraint:
+interfaces share one radio, so transmissions are serialized through the
+set, which tracks which VAP is active and counts per-interface traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Dot11Frame, FrameType
+
+__all__ = ["VirtualInterface", "VirtualInterfaceSet"]
+
+
+@dataclass
+class VirtualInterface:
+    """One VAP: an address plus traffic counters."""
+
+    index: int
+    address: MacAddress
+    channel: int = 1
+    tx_frames: int = 0
+    tx_bytes: int = 0
+    rx_frames: int = 0
+    rx_bytes: int = 0
+
+    def record_tx(self, frame: Dot11Frame) -> None:
+        """Account an outgoing frame."""
+        self.tx_frames += 1
+        self.tx_bytes += frame.size
+
+    def record_rx(self, frame: Dot11Frame) -> None:
+        """Account an incoming frame."""
+        self.rx_frames += 1
+        self.rx_bytes += frame.size
+
+
+@dataclass
+class VirtualInterfaceSet:
+    """The VAPs of one client sharing a single physical radio."""
+
+    physical_address: MacAddress
+    channel: int = 1
+    interfaces: list[VirtualInterface] = field(default_factory=list)
+    _active_index: int = 0
+
+    @classmethod
+    def configure(
+        cls,
+        physical_address: MacAddress,
+        virtual_addresses: list[MacAddress],
+        channel: int = 1,
+    ) -> "VirtualInterfaceSet":
+        """Build a set from the addresses granted by the AP."""
+        if not virtual_addresses:
+            raise ValueError("need at least one virtual address")
+        interfaces = [
+            VirtualInterface(index=i, address=address, channel=channel)
+            for i, address in enumerate(virtual_addresses)
+        ]
+        return cls(physical_address, channel, interfaces)
+
+    def __len__(self) -> int:
+        return len(self.interfaces)
+
+    @property
+    def addresses(self) -> list[MacAddress]:
+        """Virtual addresses in interface order."""
+        return [iface.address for iface in self.interfaces]
+
+    @property
+    def active(self) -> VirtualInterface:
+        """The currently active VAP (only one adapter active at a time)."""
+        return self.interfaces[self._active_index]
+
+    def activate(self, index: int) -> VirtualInterface:
+        """Switch the radio to VAP ``index`` and return it."""
+        if not 0 <= index < len(self.interfaces):
+            raise IndexError(f"no virtual interface {index}")
+        self._active_index = index
+        return self.interfaces[index]
+
+    def interface_for(self, address: MacAddress) -> VirtualInterface | None:
+        """The VAP owning ``address``, or None."""
+        for iface in self.interfaces:
+            if iface.address == address:
+                return iface
+        return None
+
+    def owns(self, address: MacAddress) -> bool:
+        """True when ``address`` is one of this client's VAPs."""
+        return self.interface_for(address) is not None
+
+    def encapsulate(
+        self,
+        iface_index: int,
+        dst: MacAddress,
+        payload_size: int,
+        time: float,
+        tx_power_dbm: float = 15.0,
+    ) -> Dot11Frame:
+        """Build an outgoing data frame sourced from VAP ``iface_index``.
+
+        Activating the VAP and stamping its address on the frame is the
+        client half of Fig. 3 ("the virtual MAC interface encapsulates an
+        outgoing packet by filling the source address of the packet with
+        its own MAC address").
+        """
+        iface = self.activate(iface_index)
+        frame = Dot11Frame(
+            src=iface.address,
+            dst=dst,
+            payload_size=payload_size,
+            frame_type=FrameType.DATA,
+            time=time,
+            channel=self.channel,
+            tx_power_dbm=tx_power_dbm,
+        )
+        iface.record_tx(frame)
+        return frame
+
+    def accept(self, frame: Dot11Frame) -> VirtualInterface | None:
+        """Client receive filter: accept frames addressed to any VAP.
+
+        Returns the receiving VAP, or None when the frame is not for
+        this client ("the MAC layer of the client has been modified to
+        receive all the packets whose destination address is one of its
+        virtual MAC addresses").
+        """
+        iface = self.interface_for(frame.dst)
+        if iface is None and frame.dst == self.physical_address:
+            iface = self.interfaces[0]
+        if iface is not None:
+            iface.record_rx(frame)
+        return iface

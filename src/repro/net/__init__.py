@@ -1,0 +1,27 @@
+"""Discrete-event WLAN substrate.
+
+A compact simulator of the observable surface the paper's adversary
+exploits: stations transmit 802.11 frames to an AP over a shared
+broadcast medium; a passive sniffer within range captures every frame
+with its addresses, size, channel and RSSI.  The paper's evaluation is
+trace-driven (Sec. IV), so this substrate exists to (a) run the Fig. 2
+configuration handshake end to end, (b) replay application traces
+through real client/AP data planes, and (c) model the Sec. V-A power
+analysis (RSSI linking and per-packet TPC).
+"""
+
+from repro.net.channel import LogDistanceChannel, Position
+from repro.net.kernel import EventKernel, ScheduledEvent
+from repro.net.nodes import AccessPointNode, SnifferNode, StationNode
+from repro.net.wlan import WlanSimulation
+
+__all__ = [
+    "AccessPointNode",
+    "EventKernel",
+    "LogDistanceChannel",
+    "Position",
+    "ScheduledEvent",
+    "SnifferNode",
+    "StationNode",
+    "WlanSimulation",
+]

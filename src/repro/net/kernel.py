@@ -1,0 +1,94 @@
+"""Minimal discrete-event kernel.
+
+A time-ordered priority queue of callbacks.  Deliberately tiny: the
+simulations here are packet replays, so the kernel only needs
+deterministic ordering (time, then insertion sequence) and a run-until
+loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["ScheduledEvent", "EventKernel"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending callback, ordered by (time, sequence number)."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it."""
+        self.cancelled = True
+
+
+class EventKernel:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        event = ScheduledEvent(time=float(time), sequence=next(self._sequence), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, action)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events in order; returns the number executed.
+
+        Args:
+            until: stop before events later than this time (None = drain).
+            max_events: safety bound on the number of executed events.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            executed += 1
+            self._processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return executed

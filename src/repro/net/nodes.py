@@ -1,0 +1,173 @@
+"""WLAN nodes: stations, the access point, and the passive sniffer.
+
+The nodes wire the MAC-layer pieces (:mod:`repro.mac`) to the event
+kernel and channel model.  The sniffer is the adversary's capture rig:
+it records (time, src, dst, size, channel, RSSI) for every receivable
+frame — exactly the observable surface of the paper's attack model
+(Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mac.addresses import MacAddress
+from repro.mac.ap import AccessPointDataPlane
+from repro.mac.driver import ClientDriver
+from repro.mac.frames import Dot11Frame
+from repro.net.channel import LogDistanceChannel, Position
+from repro.traffic.trace import Trace
+
+__all__ = ["StationNode", "AccessPointNode", "SnifferNode"]
+
+
+@dataclass
+class StationNode:
+    """A wireless client: position, TX power policy, and its driver."""
+
+    driver: ClientDriver
+    position: Position
+    tx_power_dbm: float = 15.0
+    tpc_rng: np.random.Generator | None = None
+    tpc_range_db: float = 0.0
+    _identity_offsets: dict = field(default_factory=dict)
+
+    @property
+    def address(self) -> MacAddress:
+        """The station's physical MAC address."""
+        return self.driver.physical_address
+
+    def transmit_power(self, identity: MacAddress | None = None) -> float:
+        """Per-frame transmit power under the Sec. V-A TPC policy.
+
+        With TPC enabled, each *virtual identity* keeps its own power
+        offset (drawn once, uniform over ±range/2) so the identities
+        present distinct RSSI levels — "we can disguise multiple virtual
+        interface[s] as multiple users" — and every frame adds per-packet
+        noise on top so no identity has a razor-sharp fingerprint.
+        """
+        if self.tpc_rng is None or self.tpc_range_db <= 0:
+            return self.tx_power_dbm
+        half = self.tpc_range_db / 2.0
+        offset = 0.0
+        if identity is not None:
+            if identity not in self._identity_offsets:
+                self._identity_offsets[identity] = float(
+                    self.tpc_rng.uniform(-half, half)
+                )
+            offset = self._identity_offsets[identity]
+        per_packet = float(self.tpc_rng.uniform(-half / 4.0, half / 4.0))
+        return self.tx_power_dbm + offset + per_packet
+
+
+@dataclass
+class AccessPointNode:
+    """The AP: position plus its data plane."""
+
+    data_plane: AccessPointDataPlane
+    position: Position
+    tx_power_dbm: float = 18.0
+    tpc_rng: np.random.Generator | None = None
+    tpc_range_db: float = 0.0
+
+    @property
+    def address(self) -> MacAddress:
+        """The AP's MAC address (BSSID)."""
+        return self.data_plane.address
+
+    def transmit_power(self) -> float:
+        """Per-frame transmit power (TPC applies on the AP side too)."""
+        if self.tpc_rng is None or self.tpc_range_db <= 0:
+            return self.tx_power_dbm
+        half = self.tpc_range_db / 2.0
+        return self.tx_power_dbm + float(self.tpc_rng.uniform(-half, half))
+
+
+@dataclass
+class SnifferNode:
+    """The eavesdropper: captures every receivable frame on its channel.
+
+    Attributes:
+        position: where the sniffer sits (drives observed RSSI).
+        channel: the 802.11 channel being monitored (None = all, i.e. a
+            multi-radio rig; the FH evaluation uses a single channel).
+        captured: the capture log, one entry per overheard frame.
+    """
+
+    position: Position
+    channel: int | None = None
+    captured: list[Dot11Frame] = field(default_factory=list)
+
+    def observe(
+        self,
+        frame: Dot11Frame,
+        tx_position: Position,
+        channel_model: LogDistanceChannel,
+        rng: np.random.Generator | None = None,
+    ) -> bool:
+        """Record ``frame`` if it is on-channel and above the noise floor."""
+        if self.channel is not None and frame.channel != self.channel:
+            return False
+        distance = self.position.distance_to(tx_position)
+        rssi = channel_model.rssi_dbm(frame.tx_power_dbm, distance, rng)
+        if not channel_model.is_receivable(rssi):
+            return False
+        self.captured.append(
+            Dot11Frame(
+                src=frame.src,
+                dst=frame.dst,
+                payload_size=frame.payload_size,
+                frame_type=frame.frame_type,
+                time=frame.time,
+                channel=frame.channel,
+                tx_power_dbm=frame.tx_power_dbm,
+                meta={**frame.meta, "rssi": rssi},
+            )
+        )
+        return True
+
+    def capture_by_source(self) -> dict[MacAddress, list[Dot11Frame]]:
+        """Group captured frames by transmitter address."""
+        groups: dict[MacAddress, list[Dot11Frame]] = {}
+        for frame in self.captured:
+            groups.setdefault(frame.src, []).append(frame)
+        return groups
+
+    def flows_by_station_address(self, ap_address: MacAddress) -> dict[MacAddress, Trace]:
+        """Reassemble per-station-identity bidirectional flows.
+
+        Frames *from* the AP to address X and frames *from* X to the AP
+        form the flow the adversary attributes to identity X — the unit
+        it feeds to the classifier.  Under reshaping each virtual
+        address becomes its own identity.
+        """
+        flows: dict[MacAddress, list[tuple[float, int, int, int, float]]] = {}
+        for frame in self.captured:
+            if frame.src == ap_address:
+                identity, direction = frame.dst, 0
+            elif frame.dst == ap_address:
+                identity, direction = frame.src, 1
+            else:
+                continue
+            flows.setdefault(identity, []).append(
+                (
+                    frame.time,
+                    frame.size,
+                    direction,
+                    frame.channel,
+                    float(frame.meta.get("rssi", np.nan)),
+                )
+            )
+        traces: dict[MacAddress, Trace] = {}
+        for identity, rows in flows.items():
+            rows.sort(key=lambda row: row[0])
+            traces[identity] = Trace.from_arrays(
+                times=[r[0] for r in rows],
+                sizes=[r[1] for r in rows],
+                directions=[r[2] for r in rows],
+                channels=[r[3] for r in rows],
+                rssi=[r[4] for r in rows],
+            )
+        return traces

@@ -1,0 +1,244 @@
+"""End-to-end WLAN simulation.
+
+Wires stations, an AP, a channel model and a sniffer to the event
+kernel.  The simulation runs the Fig. 2 configuration handshake, then
+replays application traces through the client/AP data planes with the
+reshaping schedulers in the loop, while the sniffer captures what an
+eavesdropper would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mac.addresses import MacAddress, random_mac
+from repro.mac.ap import AccessPointDataPlane
+from repro.mac.config_protocol import VirtualInterfaceNegotiation
+from repro.mac.crypto import SharedKeyCipher
+from repro.mac.driver import ClientDriver
+from repro.mac.frames import Dot11Frame, FrameType, frame_overhead
+from repro.mac.pool import AddressPool
+from repro.net.channel import LogDistanceChannel, Position
+from repro.net.kernel import EventKernel
+from repro.net.nodes import AccessPointNode, SnifferNode, StationNode
+from repro.traffic.packet import DOWNLINK
+from repro.traffic.trace import Trace
+from repro.util.rng import RngFactory
+
+__all__ = ["WlanSimulation"]
+
+
+@dataclass
+class WlanSimulation:
+    """One BSS: an AP, its stations, a channel model, and a sniffer.
+
+    >>> sim = WlanSimulation.build(seed=1)
+    >>> station = sim.add_station("client-1", Position(5.0, 0.0))
+    >>> sim.configure_virtual_interfaces(station, interfaces=3)
+    3
+    """
+
+    kernel: EventKernel
+    channel_model: LogDistanceChannel
+    ap: AccessPointNode
+    sniffer: SnifferNode
+    cipher: SharedKeyCipher
+    negotiation: VirtualInterfaceNegotiation
+    rng_factory: RngFactory
+    stations: dict[str, StationNode] = field(default_factory=dict)
+    channel: int = 1
+    _shadowing_rng: np.random.Generator | None = None
+
+    @property
+    def shadowing_rng(self) -> np.random.Generator:
+        """One persistent stream for shadowing noise (fresh draw per frame)."""
+        if self._shadowing_rng is None:
+            self._shadowing_rng = self.rng_factory.get("shadowing")
+        return self._shadowing_rng
+
+    @classmethod
+    def build(
+        cls,
+        seed: int = 0,
+        ap_position: Position = Position(0.0, 0.0),
+        sniffer_position: Position = Position(8.0, 6.0),
+        channel: int = 1,
+        channel_model: LogDistanceChannel | None = None,
+        max_interfaces_per_client: int = 8,
+    ) -> "WlanSimulation":
+        """Construct a BSS with fresh randomness derived from ``seed``."""
+        factory = RngFactory(seed).child("wlan")
+        model = channel_model or LogDistanceChannel()
+        ap_address = random_mac(factory.get("ap-address"), locally_administered=False)
+        pool = AddressPool(factory.get("pool"), reserved={ap_address})
+        cipher = SharedKeyCipher(b"wlan-psk-" + str(seed).encode())
+        data_plane = AccessPointDataPlane(address=ap_address)
+        return cls(
+            kernel=EventKernel(),
+            channel_model=model,
+            ap=AccessPointNode(data_plane=data_plane, position=ap_position),
+            sniffer=SnifferNode(position=sniffer_position, channel=None),
+            cipher=cipher,
+            negotiation=VirtualInterfaceNegotiation(
+                cipher, pool, max_interfaces_per_client
+            ),
+            rng_factory=factory,
+            channel=channel,
+        )
+
+    # -- topology ---------------------------------------------------------
+
+    def add_station(
+        self,
+        name: str,
+        position: Position,
+        scheduler=None,
+        tpc_range_db: float = 0.0,
+    ) -> StationNode:
+        """Create and register a station with an unconfigured driver."""
+        if name in self.stations:
+            raise ValueError(f"station {name!r} already exists")
+        address = random_mac(self.rng_factory.get("sta", name), locally_administered=False)
+        driver = ClientDriver(address, scheduler=scheduler)
+        node = StationNode(
+            driver=driver,
+            position=position,
+            tpc_rng=self.rng_factory.get("tpc", name) if tpc_range_db > 0 else None,
+            tpc_range_db=tpc_range_db,
+        )
+        self.stations[name] = node
+        return node
+
+    # -- configuration handshake (Fig. 2) over the air ----------------------
+
+    def configure_virtual_interfaces(self, station: StationNode, interfaces: int) -> int:
+        """Run the 4-step handshake; returns the number of granted VAPs.
+
+        Both handshake frames are transmitted (and thus sniffable), but
+        their payloads are encrypted: the sniffer records sizes and
+        addresses only, never the mapping.
+        """
+        rng = self.rng_factory.get("handshake", str(station.address))
+        request_wire = station.driver.request_interfaces(
+            self.negotiation, interfaces, rng
+        )
+        nonce_hint = station.driver._pending_request.nonce  # session-carried hint
+        self._transmit_management(station, self.ap.address, request_wire)
+        reply, reply_wire = self.negotiation.handle_request(request_wire, nonce_hint)
+        self._transmit_management_downlink(station, reply_wire)
+        station.driver.complete_configuration(self.negotiation, reply_wire, self.channel)
+        self.ap.data_plane.register_client(
+            station.address,
+            list(reply.virtual_addresses),
+            scheduler=station.driver.scheduler,
+        )
+        return len(reply.virtual_addresses)
+
+    def _transmit_management(
+        self, station: StationNode, dst: MacAddress, payload: bytes
+    ) -> None:
+        frame = Dot11Frame(
+            src=station.address,
+            dst=dst,
+            payload_size=len(payload),
+            frame_type=FrameType.MANAGEMENT,
+            time=self.kernel.now,
+            channel=self.channel,
+            tx_power_dbm=station.transmit_power(),
+            payload=payload,
+        )
+        self.sniffer.observe(
+            frame, station.position, self.channel_model,
+            self.shadowing_rng,
+        )
+
+    def _transmit_management_downlink(self, station: StationNode, payload: bytes) -> None:
+        frame = Dot11Frame(
+            src=self.ap.address,
+            dst=station.address,
+            payload_size=len(payload),
+            frame_type=FrameType.MANAGEMENT,
+            time=self.kernel.now,
+            channel=self.channel,
+            tx_power_dbm=self.ap.transmit_power(),
+            payload=payload,
+        )
+        self.sniffer.observe(
+            frame, self.ap.position, self.channel_model,
+            self.shadowing_rng,
+        )
+
+    # -- trace replay -------------------------------------------------------
+
+    def replay_trace(self, station_name: str, trace: Trace) -> None:
+        """Schedule every packet of ``trace`` through the data planes.
+
+        Downlink packets enter at the AP (which runs its reshaping
+        scheduler and address translation); uplink packets leave the
+        station driver (which runs the client-side scheduler).  The
+        sniffer sees every on-air frame.
+        """
+        station = self.stations[station_name]
+        payload_overhead = frame_overhead(FrameType.DATA)
+        for index in range(len(trace)):
+            time = float(trace.times[index])
+            size = int(trace.sizes[index])
+            direction = int(trace.directions[index])
+            payload = max(size - payload_overhead, 1)
+            if direction == int(DOWNLINK):
+                self.kernel.schedule(
+                    time, self._downlink_action(station, payload, time)
+                )
+            else:
+                self.kernel.schedule(
+                    time, self._uplink_action(station, payload, time)
+                )
+
+    def _downlink_action(self, station: StationNode, payload_size: int, time: float):
+        def action() -> None:
+            frame = Dot11Frame(
+                src=self.ap.address,
+                dst=station.address,
+                payload_size=payload_size,
+                time=time,
+                channel=self.channel,
+                tx_power_dbm=self.ap.transmit_power(),
+            )
+            on_air = self.ap.data_plane.transmit_downlink(frame)
+            self.sniffer.observe(
+                on_air, self.ap.position, self.channel_model,
+                self.shadowing_rng,
+            )
+            station.driver.receive(on_air)
+
+        return action
+
+    def _uplink_action(self, station: StationNode, payload_size: int, time: float):
+        def action() -> None:
+            frame = station.driver.send(self.ap.address, payload_size, time)
+            frame = Dot11Frame(
+                src=frame.src,
+                dst=frame.dst,
+                payload_size=frame.payload_size,
+                frame_type=frame.frame_type,
+                time=frame.time,
+                channel=frame.channel,
+                tx_power_dbm=station.transmit_power(identity=frame.src),
+            )
+            self.sniffer.observe(
+                frame, station.position, self.channel_model,
+                self.shadowing_rng,
+            )
+            self.ap.data_plane.receive_uplink(frame)
+
+        return action
+
+    def run(self, until: float | None = None) -> int:
+        """Run the kernel; returns the number of events processed."""
+        return self.kernel.run(until=until)
+
+    def captured_flows(self) -> dict[MacAddress, Trace]:
+        """The per-identity flows the adversary reconstructs."""
+        return self.sniffer.flows_by_station_address(self.ap.address)

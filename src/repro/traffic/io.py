@@ -1,0 +1,72 @@
+"""CSV trace import/export.
+
+Real packet captures usually reach an analysis pipeline as CSV exports
+(e.g. from tshark: ``tshark -r cap.pcap -T fields -e frame.time_epoch
+-e frame.len ...``).  This module reads and writes that interchange
+format so users can run the attack and the defenses on their own
+captures.
+
+Column layout (header required): ``time,size,direction,iface,channel``
+with direction ``0`` = AP->client and ``1`` = client->AP; ``iface`` and
+``channel`` are optional columns defaulting to 0 and 1.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from repro.traffic.trace import Trace
+
+__all__ = ["trace_to_csv", "trace_from_csv"]
+
+_REQUIRED = ("time", "size")
+_OPTIONAL_DEFAULTS = {"direction": 0, "iface": 0, "channel": 1}
+
+
+def trace_to_csv(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` as CSV (one packet per row)."""
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(["time", "size", "direction", "iface", "channel"])
+        for index in range(len(trace)):
+            writer.writerow(
+                [
+                    f"{float(trace.times[index]):.9f}",
+                    int(trace.sizes[index]),
+                    int(trace.directions[index]),
+                    int(trace.ifaces[index]),
+                    int(trace.channels[index]),
+                ]
+            )
+
+
+def trace_from_csv(path: str, label: str | None = None) -> Trace:
+    """Read a CSV written by :func:`trace_to_csv` (or a tshark export).
+
+    Rows are re-sorted by timestamp; missing optional columns take their
+    defaults.  Raises ``ValueError`` on missing required columns.
+    """
+    times: list[float] = []
+    sizes: list[int] = []
+    optional: dict[str, list[int]] = {name: [] for name in _OPTIONAL_DEFAULTS}
+    with open(path, encoding="utf-8", newline="") as stream:
+        reader = csv.DictReader(stream)
+        header = reader.fieldnames or []
+        for column in _REQUIRED:
+            if column not in header:
+                raise ValueError(f"CSV is missing required column {column!r}")
+        for row in reader:
+            times.append(float(row["time"]))
+            sizes.append(int(row["size"]))
+            for name, default in _OPTIONAL_DEFAULTS.items():
+                raw = row.get(name)
+                optional[name].append(int(raw) if raw not in (None, "") else default)
+    return Trace.from_arrays(
+        times=times,
+        sizes=sizes,
+        directions=optional["direction"],
+        ifaces=optional["iface"],
+        channels=optional["channel"],
+        label=label,
+        sort=True,
+    )

@@ -1,0 +1,73 @@
+"""Packet-level primitives.
+
+A :class:`Packet` is the unit the reshaping algorithm schedules
+(Sec. III-C of the paper: the packet set ``S = (s_1, ..., s_N)`` with
+size function ``L(s_k)``).  Traces store packets column-wise in numpy
+arrays for speed; :class:`Packet` is the row view used at API boundaries
+and inside the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Direction", "DOWNLINK", "UPLINK", "Packet"]
+
+
+class Direction(enum.IntEnum):
+    """Link direction relative to the wireless client."""
+
+    DOWNLINK = 0  # AP -> client (the direction of Fig. 1 measurements)
+    UPLINK = 1  # client -> AP
+
+    @property
+    def opposite(self) -> "Direction":
+        """Return the other direction."""
+        return Direction.UPLINK if self is Direction.DOWNLINK else Direction.DOWNLINK
+
+
+DOWNLINK = Direction.DOWNLINK
+UPLINK = Direction.UPLINK
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One MAC-layer data unit.
+
+    Attributes:
+        time: transmission timestamp in seconds from trace start.
+        size: MAC-layer frame size in bytes (header + payload).
+        direction: :data:`DOWNLINK` or :data:`UPLINK`.
+        iface: index of the virtual interface carrying the packet
+            (0 when reshaping is not in effect).
+        channel: 802.11 channel number the frame was sent on.
+        rssi: received signal strength at the observer in dBm, if modeled.
+        meta: free-form annotations (e.g. the generating application).
+    """
+
+    time: float
+    size: int
+    direction: Direction = DOWNLINK
+    iface: int = 0
+    channel: int = 1
+    rssi: float | None = None
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        if self.time < 0:
+            raise ValueError(f"packet time must be >= 0, got {self.time}")
+
+    def with_size(self, size: int) -> "Packet":
+        """Return a copy with a different size (used by padding/morphing)."""
+        return replace(self, size=size)
+
+    def with_iface(self, iface: int) -> "Packet":
+        """Return a copy assigned to virtual interface ``iface``."""
+        return replace(self, iface=iface)
+
+    def with_time(self, time: float) -> "Packet":
+        """Return a copy re-timestamped at ``time``."""
+        return replace(self, time=time)

@@ -1,0 +1,128 @@
+"""Trace statistics: the quantities the paper tabulates and plots.
+
+* Figure 1 plots the per-application packet-size empirical CDF on the
+  receiver (downlink) side — :func:`empirical_cdf`.
+* Table I reports mean packet size and mean interarrival per virtual
+  interface, with idle gaps longer than the eavesdropping window
+  (5 s) excluded from the interarrival mean — :func:`mean_interarrival`
+  with ``idle_cutoff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.packet import DOWNLINK, Direction
+from repro.traffic.sizes import MAX_PACKET_SIZE
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "interarrival_times",
+    "mean_interarrival",
+    "size_histogram",
+    "empirical_cdf",
+    "TraceFeatureSummary",
+    "summarize_trace",
+]
+
+#: Idle-time cutoff from Sec. IV-B: gaps beyond the 5 s eavesdropping
+#: window are "filtered out and ... not calculated into the packet
+#: interarrival time".
+DEFAULT_IDLE_CUTOFF = 5.0
+
+
+def interarrival_times(times: np.ndarray, idle_cutoff: float | None = DEFAULT_IDLE_CUTOFF) -> np.ndarray:
+    """Gaps between consecutive timestamps, optionally dropping idle gaps.
+
+    Args:
+        times: sorted timestamps.
+        idle_cutoff: gaps strictly longer than this many seconds are
+            treated as idle time and removed (``None`` keeps everything).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) < 2:
+        return np.zeros(0, dtype=np.float64)
+    gaps = np.diff(times)
+    if idle_cutoff is not None:
+        gaps = gaps[gaps <= idle_cutoff]
+    return gaps
+
+
+def mean_interarrival(
+    trace: Trace,
+    idle_cutoff: float | None = DEFAULT_IDLE_CUTOFF,
+) -> float:
+    """Mean interarrival time of ``trace`` (NaN when under two packets)."""
+    gaps = interarrival_times(trace.times, idle_cutoff)
+    if len(gaps) == 0:
+        return float("nan")
+    return float(gaps.mean())
+
+
+def size_histogram(
+    trace: Trace,
+    bin_width: int = 50,
+    max_size: int = MAX_PACKET_SIZE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of packet sizes: (bin_edges, counts).
+
+    This is the quantity plotted per interface in Figures 4(a)-(d) and
+    5(a)-(d).
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    edges = np.arange(0, max_size + bin_width, bin_width, dtype=np.int64)
+    counts, _ = np.histogram(trace.sizes, bins=edges)
+    return edges, counts
+
+
+def empirical_cdf(sizes: np.ndarray, grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of packet sizes evaluated on ``grid``.
+
+    Figure 1 (and Figures 4(e)/5(e)) plot cumulative probability versus
+    packet size; this returns ``(grid, cdf_values)``.
+    """
+    sizes = np.sort(np.asarray(sizes, dtype=np.float64))
+    if grid is None:
+        grid = np.arange(0, MAX_PACKET_SIZE + 1, 8, dtype=np.float64)
+    if len(sizes) == 0:
+        return grid, np.zeros_like(grid, dtype=np.float64)
+    cdf = np.searchsorted(sizes, grid, side="right") / len(sizes)
+    return grid, cdf
+
+
+@dataclass(frozen=True)
+class TraceFeatureSummary:
+    """The per-flow summary reported in Table I."""
+
+    packet_count: int
+    mean_size: float
+    mean_interarrival: float
+
+    def as_row(self) -> tuple[int, float, float]:
+        """Return (count, mean size, mean interarrival) for table rendering."""
+        return self.packet_count, self.mean_size, self.mean_interarrival
+
+
+def summarize_trace(
+    trace: Trace,
+    direction: Direction | None = DOWNLINK,
+    idle_cutoff: float | None = DEFAULT_IDLE_CUTOFF,
+) -> TraceFeatureSummary:
+    """Summarize ``trace`` in one direction (Table I's reporting direction).
+
+    Args:
+        trace: the trace to summarize.
+        direction: which direction to keep (``None`` keeps both).
+        idle_cutoff: idle-gap filter for the interarrival mean.
+    """
+    view = trace if direction is None else trace.direction_view(direction)
+    if len(view) == 0:
+        return TraceFeatureSummary(0, float("nan"), float("nan"))
+    return TraceFeatureSummary(
+        packet_count=len(view),
+        mean_size=float(view.sizes.mean()),
+        mean_interarrival=mean_interarrival(view, idle_cutoff),
+    )

@@ -1,0 +1,353 @@
+"""Column-oriented packet traces.
+
+A :class:`Trace` stores packets as parallel numpy arrays (time, size,
+direction, virtual-interface index, channel, RSSI).  All defenses and the
+attack pipeline operate on traces; the representation keeps half-million
+packet experiments (downloading at ~435 pkt/s for 20 minutes) fast in
+pure Python + numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.packet import DOWNLINK, UPLINK, Direction, Packet
+
+__all__ = ["Trace", "concat_traces", "merge_traces"]
+
+_RSSI_UNSET = np.float32(np.nan)
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of packets with column storage.
+
+    Invariants (enforced at construction):
+
+    * all columns have equal length,
+    * times are non-negative and sorted non-decreasingly,
+    * sizes are strictly positive integers.
+
+    Attributes:
+        times: float64 seconds from trace start.
+        sizes: int64 MAC-frame sizes in bytes.
+        directions: int8 of :class:`Direction` values.
+        ifaces: int16 virtual-interface indices (0 = physical/no reshaping).
+        channels: int8 802.11 channel numbers.
+        rssi: float32 observed signal strengths in dBm (NaN when unmodeled).
+        label: optional application label (ground truth for evaluation).
+        meta: free-form metadata dictionary.
+    """
+
+    times: np.ndarray
+    sizes: np.ndarray
+    directions: np.ndarray
+    ifaces: np.ndarray
+    channels: np.ndarray
+    rssi: np.ndarray
+    label: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self.directions = np.asarray(self.directions, dtype=np.int8)
+        self.ifaces = np.asarray(self.ifaces, dtype=np.int16)
+        self.channels = np.asarray(self.channels, dtype=np.int8)
+        self.rssi = np.asarray(self.rssi, dtype=np.float32)
+        length = len(self.times)
+        for name in ("sizes", "directions", "ifaces", "channels", "rssi"):
+            column = getattr(self, name)
+            if len(column) != length:
+                raise ValueError(
+                    f"column {name!r} has length {len(column)}, expected {length}"
+                )
+        if length:
+            if float(self.times[0]) < 0:
+                raise ValueError("packet times must be non-negative")
+            if np.any(np.diff(self.times) < 0):
+                raise ValueError("packet times must be sorted non-decreasingly")
+            if np.any(self.sizes <= 0):
+                raise ValueError("packet sizes must be strictly positive")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times: Sequence[float],
+        sizes: Sequence[int],
+        directions: Sequence[int] | None = None,
+        ifaces: Sequence[int] | None = None,
+        channels: Sequence[int] | None = None,
+        rssi: Sequence[float] | None = None,
+        label: str | None = None,
+        meta: dict | None = None,
+        sort: bool = False,
+    ) -> "Trace":
+        """Build a trace from column data, filling defaults for omitted columns."""
+        times = np.asarray(times, dtype=np.float64)
+        n = len(times)
+
+        def column(values, dtype, default):
+            if values is None:
+                return np.full(n, default, dtype=dtype)
+            return np.asarray(values, dtype=dtype)
+
+        sizes = np.asarray(sizes, dtype=np.int64)
+        directions = column(directions, np.int8, int(DOWNLINK))
+        ifaces = column(ifaces, np.int16, 0)
+        channels = column(channels, np.int8, 1)
+        rssi = column(rssi, np.float32, _RSSI_UNSET)
+        if sort and n:
+            order = np.argsort(times, kind="stable")
+            times, sizes = times[order], sizes[order]
+            directions, ifaces = directions[order], ifaces[order]
+            channels, rssi = channels[order], rssi[order]
+        return cls(times, sizes, directions, ifaces, channels, rssi, label, meta or {})
+
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet], label: str | None = None) -> "Trace":
+        """Build a trace from :class:`Packet` objects (sorted by time)."""
+        items = sorted(packets, key=lambda p: p.time)
+        return cls.from_arrays(
+            times=[p.time for p in items],
+            sizes=[p.size for p in items],
+            directions=[int(p.direction) for p in items],
+            ifaces=[p.iface for p in items],
+            channels=[p.channel for p in items],
+            rssi=[p.rssi if p.rssi is not None else _RSSI_UNSET for p in items],
+            label=label,
+        )
+
+    @classmethod
+    def empty(cls, label: str | None = None) -> "Trace":
+        """Return a trace with no packets."""
+        return cls.from_arrays([], [], label=label)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Packet]:
+        for i in range(len(self)):
+            yield self.packet(i)
+
+    def packet(self, index: int) -> Packet:
+        """Return packet ``index`` as a :class:`Packet` view."""
+        rssi = float(self.rssi[index])
+        return Packet(
+            time=float(self.times[index]),
+            size=int(self.sizes[index]),
+            direction=Direction(int(self.directions[index])),
+            iface=int(self.ifaces[index]),
+            channel=int(self.channels[index]),
+            rssi=None if np.isnan(rssi) else rssi,
+        )
+
+    @property
+    def duration(self) -> float:
+        """Time span between the first and last packet (0 for empty traces)."""
+        if not len(self):
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of packet sizes."""
+        return int(self.sizes.sum())
+
+    def bytes_in_direction(self, direction: Direction) -> int:
+        """Total bytes flowing in ``direction``."""
+        return int(self.sizes[self.directions == int(direction)].sum())
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new traces; columns are copied)
+    # ------------------------------------------------------------------
+
+    def select(self, mask: np.ndarray, label: str | None = None) -> "Trace":
+        """Return the sub-trace of packets where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.times.shape:
+            raise ValueError("mask shape does not match trace length")
+        return Trace(
+            self.times[mask].copy(),
+            self.sizes[mask].copy(),
+            self.directions[mask].copy(),
+            self.ifaces[mask].copy(),
+            self.channels[mask].copy(),
+            self.rssi[mask].copy(),
+            label if label is not None else self.label,
+            dict(self.meta),
+        )
+
+    def direction_view(self, direction: Direction) -> "Trace":
+        """Return the sub-trace for one direction."""
+        return self.select(self.directions == int(direction))
+
+    def iface_view(self, iface: int) -> "Trace":
+        """Return the sub-trace carried by virtual interface ``iface``."""
+        return self.select(self.ifaces == iface)
+
+    def iface_indices(self) -> list[int]:
+        """Sorted list of distinct virtual-interface indices in the trace."""
+        return sorted(int(i) for i in np.unique(self.ifaces))
+
+    def split_by_iface(self) -> dict[int, "Trace"]:
+        """Partition the trace into one sub-trace per virtual interface."""
+        return {i: self.iface_view(i) for i in self.iface_indices()}
+
+    def time_slice(self, start: float, end: float) -> "Trace":
+        """Return packets with ``start <= time < end``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        return self.select((self.times >= start) & (self.times < end))
+
+    def with_ifaces(self, ifaces: np.ndarray) -> "Trace":
+        """Return a copy with the given per-packet interface assignment."""
+        ifaces = np.asarray(ifaces, dtype=np.int16)
+        if ifaces.shape != self.times.shape:
+            raise ValueError("iface assignment length does not match trace")
+        return Trace(
+            self.times.copy(),
+            self.sizes.copy(),
+            self.directions.copy(),
+            ifaces,
+            self.channels.copy(),
+            self.rssi.copy(),
+            self.label,
+            dict(self.meta),
+        )
+
+    def with_sizes(self, sizes: np.ndarray) -> "Trace":
+        """Return a copy with modified packet sizes (padding/morphing)."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.shape != self.times.shape:
+            raise ValueError("size array length does not match trace")
+        return Trace(
+            self.times.copy(),
+            sizes,
+            self.directions.copy(),
+            self.ifaces.copy(),
+            self.channels.copy(),
+            self.rssi.copy(),
+            self.label,
+            dict(self.meta),
+        )
+
+    def with_label(self, label: str | None) -> "Trace":
+        """Return a copy relabeled as ``label``."""
+        return Trace(
+            self.times.copy(),
+            self.sizes.copy(),
+            self.directions.copy(),
+            self.ifaces.copy(),
+            self.channels.copy(),
+            self.rssi.copy(),
+            label,
+            dict(self.meta),
+        )
+
+    def shifted(self, offset: float) -> "Trace":
+        """Return a copy with all timestamps shifted by ``offset`` seconds."""
+        times = self.times + float(offset)
+        if len(times) and times[0] < 0:
+            raise ValueError("shift would produce negative timestamps")
+        return Trace(
+            times,
+            self.sizes.copy(),
+            self.directions.copy(),
+            self.ifaces.copy(),
+            self.channels.copy(),
+            self.rssi.copy(),
+            self.label,
+            dict(self.meta),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (JSONL: one packet per line, lossless round-trip)
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the trace to ``path`` as JSON-lines (one packet per line)."""
+        with open(path, "w", encoding="utf-8") as stream:
+            header = {"label": self.label, "meta": self.meta}
+            stream.write(json.dumps({"__trace_header__": header}) + "\n")
+            for i in range(len(self)):
+                rssi = float(self.rssi[i])
+                record = {
+                    "t": float(self.times[i]),
+                    "s": int(self.sizes[i]),
+                    "d": int(self.directions[i]),
+                    "i": int(self.ifaces[i]),
+                    "c": int(self.channels[i]),
+                }
+                if not np.isnan(rssi):
+                    record["r"] = rssi
+                stream.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "Trace":
+        """Read a trace previously written by :meth:`to_jsonl`."""
+        label, meta = None, {}
+        times, sizes, directions, ifaces, channels, rssi = [], [], [], [], [], []
+        with open(path, encoding="utf-8") as stream:
+            for line in stream:
+                record = json.loads(line)
+                if "__trace_header__" in record:
+                    header = record["__trace_header__"]
+                    label, meta = header.get("label"), header.get("meta", {})
+                    continue
+                times.append(record["t"])
+                sizes.append(record["s"])
+                directions.append(record["d"])
+                ifaces.append(record["i"])
+                channels.append(record["c"])
+                rssi.append(record.get("r", _RSSI_UNSET))
+        trace = cls.from_arrays(times, sizes, directions, ifaces, channels, rssi, label)
+        trace.meta = meta
+        return trace
+
+
+def concat_traces(traces: Sequence[Trace], gap: float = 0.0, label: str | None = None) -> Trace:
+    """Concatenate traces end to end, inserting ``gap`` seconds between them.
+
+    Each trace is shifted so that it starts right after the previous one
+    finishes (plus ``gap``).  Useful for building long evaluation traces
+    from repeated generator runs.
+    """
+    if not traces:
+        return Trace.empty(label)
+    shifted, clock = [], 0.0
+    for trace in traces:
+        start = float(trace.times[0]) if len(trace) else 0.0
+        shifted.append(trace.shifted(clock - start))
+        clock += trace.duration + gap
+    return merge_traces(shifted, label=label)
+
+
+def merge_traces(traces: Sequence[Trace], label: str | None = None) -> Trace:
+    """Merge traces on a shared clock, re-sorting packets by time."""
+    if not traces:
+        return Trace.empty(label)
+    times = np.concatenate([t.times for t in traces])
+    order = np.argsort(times, kind="stable")
+    return Trace(
+        times[order],
+        np.concatenate([t.sizes for t in traces])[order],
+        np.concatenate([t.directions for t in traces])[order],
+        np.concatenate([t.ifaces for t in traces])[order],
+        np.concatenate([t.channels for t in traces])[order],
+        np.concatenate([t.rssi for t in traces])[order],
+        label,
+        {},
+    )

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG trees, validation, table rendering."""
+
+from repro.util.rng import RngFactory, derive_rng
+from repro.util.tables import format_table
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_probability_vector,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_rng",
+    "format_table",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "require_probability_vector",
+]

@@ -1,0 +1,71 @@
+"""Deterministic random-number-generator management.
+
+Every stochastic component in the library draws from a generator derived
+from a user-supplied seed through a *named* derivation path, so that
+
+* the same seed always reproduces the same experiment end to end, and
+* adding a new consumer of randomness does not perturb existing ones
+  (each consumer derives its stream from its own name, not from a shared
+  sequential counter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_rng", "RngFactory"]
+
+
+def _seed_from_path(seed: int, path: tuple[str, ...]) -> int:
+    """Hash a (seed, name...) path into a 64-bit integer seed."""
+    digest = hashlib.sha256()
+    digest.update(str(int(seed)).encode("utf-8"))
+    for part in path:
+        digest.update(b"/")
+        digest.update(part.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_rng(seed: int, *path: str) -> np.random.Generator:
+    """Return a generator deterministically derived from ``seed`` and ``path``.
+
+    >>> a = derive_rng(7, "traffic", "browsing")
+    >>> b = derive_rng(7, "traffic", "browsing")
+    >>> bool(a.integers(1 << 30) == b.integers(1 << 30))
+    True
+    """
+    return np.random.default_rng(_seed_from_path(seed, path))
+
+
+class RngFactory:
+    """A tree of named, independent random generators sharing one root seed.
+
+    >>> factory = RngFactory(seed=42)
+    >>> gen = factory.get("traffic", "chatting")
+    >>> child = factory.child("attack")
+    >>> isinstance(child, RngFactory)
+    True
+    """
+
+    def __init__(self, seed: int = 0, _path: tuple[str, ...] = ()):
+        self.seed = int(seed)
+        self._path = _path
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        """Derivation path of this factory relative to the root seed."""
+        return self._path
+
+    def get(self, *names: str) -> np.random.Generator:
+        """Return the generator for the stream named by ``names``."""
+        return derive_rng(self.seed, *self._path, *names)
+
+    def child(self, *names: str) -> "RngFactory":
+        """Return a sub-factory rooted at ``names`` under this factory."""
+        return RngFactory(self.seed, self._path + tuple(names))
+
+    def __repr__(self) -> str:
+        suffix = "/".join(self._path)
+        return f"RngFactory(seed={self.seed}, path={suffix!r})"

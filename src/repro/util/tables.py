@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Benchmarks regenerate the paper's tables as ASCII so the reproduction can
+be compared side by side with the published rows without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Render ``value`` with a fixed number of decimals ('-' for None/NaN)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_digits`` decimals; other cells are
+    rendered with ``str``.
+
+    >>> print(format_table(["app", "acc"], [["bt", 2.35]]))
+    app | acc
+    ----+-----
+    bt  | 2.35
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return format_float(value, float_digits)
+        return str(value)
+
+    text_rows = [[cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(part.ljust(widths[i]) for i, part in enumerate(parts)).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in text_rows)
+    table = "\n".join(body)
+    if title:
+        table = f"{title}\n{table}"
+    return table

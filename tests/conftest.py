@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic traces and scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def generator() -> TrafficGenerator:
+    """One deterministic generator shared by the whole session."""
+    return TrafficGenerator(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def plain_generator() -> TrafficGenerator:
+    """A generator without session-level variability (exact calibration)."""
+    return TrafficGenerator(seed=1234, rate_sigma=0.0, size_jitter=0.0, drift_sigma=0.0)
+
+
+@pytest.fixture(scope="session")
+def bt_trace(generator: TrafficGenerator) -> Trace:
+    """A 60-second BitTorrent trace (the paper's running example)."""
+    return generator.generate(AppType.BITTORRENT, duration=60.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(generator: TrafficGenerator) -> dict[str, list[Trace]]:
+    """Short traces of every app for quick attack-pipeline tests."""
+    return {
+        app.value: [generator.generate(app, duration=60.0, session=s) for s in range(2)]
+        for app in AppType
+    }
+
+
+@pytest.fixture
+def simple_trace() -> Trace:
+    """Hand-built 8-packet trace with known values."""
+    return Trace.from_arrays(
+        times=[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5],
+        sizes=[100, 1500, 200, 1400, 300, 1300, 400, 1200],
+        directions=[0, 0, 1, 1, 0, 0, 1, 1],
+        label="test",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(99)

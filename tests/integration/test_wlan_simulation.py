@@ -1,0 +1,88 @@
+"""Integration: the DES WLAN — handshake, replay, sniffer, linking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linking import RssiLinker, linking_accuracy
+from repro.core.schedulers import OrthogonalReshaper
+from repro.net.channel import Position
+from repro.net.wlan import WlanSimulation
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator
+
+
+class TestSniffedFlowsMatchTraceReshaping:
+    def test_sniffer_sees_or_partition(self):
+        """The over-the-air OR partition matches the trace-level one."""
+        sim = WlanSimulation.build(seed=3)
+        station = sim.add_station(
+            "sta0", Position(5.0, 0.0), scheduler=OrthogonalReshaper.paper_default()
+        )
+        sim.configure_virtual_interfaces(station, 3)
+        trace = TrafficGenerator(seed=31).generate(AppType.BITTORRENT, 15.0)
+        sim.replay_trace("sta0", trace)
+        sim.run()
+
+        flows = sim.captured_flows()
+        virtuals = station.driver.vaps.addresses
+        # Interface 0 must carry only small frames, interface 2 only full.
+        flow0 = flows.get(virtuals[0])
+        flow2 = flows.get(virtuals[2])
+        assert flow0 is not None and flow2 is not None
+        assert flow0.sizes.max() <= 232
+        assert flow2.sizes.min() > 1540
+
+    def test_total_capture_conserves_packets(self):
+        sim = WlanSimulation.build(seed=4)
+        station = sim.add_station(
+            "sta0", Position(5.0, 0.0), scheduler=OrthogonalReshaper.paper_default()
+        )
+        sim.configure_virtual_interfaces(station, 3)
+        trace = TrafficGenerator(seed=32).generate(AppType.GAMING, 20.0)
+        sim.replay_trace("sta0", trace)
+        sim.run()
+        flows = sim.captured_flows()
+        captured = sum(
+            len(flow)
+            for addr, flow in flows.items()
+            if station.driver.vaps.owns(addr)
+        )
+        assert captured == len(trace)
+
+
+class TestRssiLinkingAndTpc:
+    def _run(self, tpc_range: float, seed: int = 9):
+        sim = WlanSimulation.build(seed=seed)
+        generator = TrafficGenerator(seed=seed + 1)
+        owners = {}
+        for index in range(3):
+            name = f"sta{index}"
+            station = sim.add_station(
+                name,
+                Position(3.0 + 14.0 * index, 1.0),
+                scheduler=OrthogonalReshaper.paper_default(),
+                tpc_range_db=tpc_range,
+            )
+            sim.configure_virtual_interfaces(station, 3)
+            trace = generator.generate(AppType.BITTORRENT, 12.0, session=index)
+            sim.replay_trace(name, trace)
+            for virtual in station.driver.vaps.addresses:
+                owners[virtual] = index
+        sim.run()
+        flows = sim.captured_flows()
+        flow_list, owner_list = [], []
+        for address, flow in flows.items():
+            if address in owners and len(flow.select(flow.directions == 1)) > 0:
+                flow_list.append(flow)
+                owner_list.append(owners[address])
+        groups = RssiLinker(threshold_db=3.0).link(flow_list)
+        return linking_accuracy(groups, owner_list)
+
+    def test_fixed_power_flows_are_linkable(self):
+        # Sec. V-A: without TPC, RSSI clusters expose the physical card.
+        assert self._run(tpc_range=0.0) > 0.8
+
+    def test_tpc_degrades_linking(self):
+        linked_fixed = self._run(tpc_range=0.0)
+        linked_tpc = self._run(tpc_range=20.0)
+        assert linked_tpc < linked_fixed

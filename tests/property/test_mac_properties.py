@@ -1,0 +1,90 @@
+"""Property tests on the MAC substrate (crypto, pool, translation)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.addresses import MacAddress, collision_probability
+from repro.mac.crypto import SharedKeyCipher
+from repro.mac.pool import AddressPool
+from repro.mac.translation import TranslationTable
+
+
+@given(
+    key=st.binary(min_size=1, max_size=64),
+    plaintext=st.binary(max_size=512),
+    nonce=st.integers(min_value=0, max_value=(1 << 62)),
+)
+@settings(max_examples=80, deadline=None)
+def test_cipher_roundtrip(key, plaintext, nonce):
+    cipher = SharedKeyCipher(key)
+    assert cipher.decrypt(cipher.encrypt(plaintext, nonce), nonce) == plaintext
+
+
+@given(
+    key=st.binary(min_size=1, max_size=32),
+    plaintext=st.binary(min_size=1, max_size=128),
+    nonce=st.integers(min_value=0, max_value=1 << 30),
+    flip=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_cipher_detects_any_single_bitflip(key, plaintext, nonce, flip):
+    import pytest
+
+    from repro.mac.crypto import IntegrityError
+
+    cipher = SharedKeyCipher(key)
+    wire = bytearray(cipher.encrypt(plaintext, nonce))
+    position = flip % len(wire)
+    wire[position] ^= 1 << (flip % 8) or 1
+    if wire == bytearray(cipher.encrypt(plaintext, nonce)):
+        return  # the flip was a no-op (bit value 0), nothing to check
+    with pytest.raises(IntegrityError):
+        cipher.decrypt(bytes(wire), nonce)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    counts=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_pool_never_double_allocates(seed, counts):
+    pool = AddressPool(np.random.default_rng(seed))
+    seen: set[MacAddress] = set()
+    for owner_id, count in enumerate(counts):
+        addresses = pool.allocate(f"client-{owner_id}", count)
+        for address in addresses:
+            assert address not in seen
+            seen.add(address)
+    assert pool.allocated_count == sum(counts)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_clients=st.integers(min_value=1, max_value=6),
+    per_client=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_translation_roundtrip(seed, n_clients, per_client):
+    rng = np.random.default_rng(seed)
+    pool = AddressPool(rng)
+    table = TranslationTable()
+    physicals = []
+    for index in range(n_clients):
+        physical = MacAddress(0x001122000000 + index)
+        virtuals = pool.allocate(str(index), per_client)
+        table.register(physical, virtuals)
+        physicals.append((physical, virtuals))
+    for physical, virtuals in physicals:
+        for virtual in virtuals:
+            assert table.physical_of(virtual) == physical
+        assert table.virtuals_of(physical) == virtuals
+
+
+@given(n=st.integers(min_value=2, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_collision_probability_in_unit_interval_and_monotone(n):
+    p_n = collision_probability(n)
+    p_next = collision_probability(n + 500)
+    assert 0.0 <= p_n <= 1.0
+    assert p_next >= p_n

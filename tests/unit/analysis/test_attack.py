@@ -1,0 +1,117 @@
+"""Tests for the end-to-end attack pipeline."""
+
+import pytest
+
+from repro.analysis.attack import AttackPipeline, DefenseEvaluation
+from repro.core.engine import ReshapingEngine
+from repro.core.schedulers import OrthogonalReshaper
+from repro.defenses.padding import PacketPadding
+from repro.traffic.apps import AppType
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_corpus_module):
+    pipeline = AttackPipeline(window=5.0, seed=0)
+    pipeline.train(tiny_corpus_module)
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus_module():
+    from repro.traffic.generator import TrafficGenerator
+
+    generator = TrafficGenerator(seed=1234)
+    return {
+        app.value: [generator.generate(app, duration=60.0, session=s) for s in range(2)]
+        for app in AppType
+    }
+
+
+class TestTraining:
+    def test_trains_and_reports_validation(self, trained):
+        assert trained.is_trained
+        assert 0.5 < trained.validation_accuracy <= 1.0
+        assert trained.classifier_name in ("svm", "nn")
+
+    def test_classes_are_the_seven_apps(self, trained):
+        assert set(trained.classes) == {app.value for app in AppType}
+
+    def test_untrained_pipeline_refuses_to_classify(self):
+        pipeline = AttackPipeline(window=5.0)
+        with pytest.raises(RuntimeError):
+            pipeline.classify_windows([])
+        assert pipeline.classifier_name == "untrained"
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            AttackPipeline(window=5.0).train({})
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            AttackPipeline(window=0.0)
+
+
+class TestEvaluation:
+    def test_undefended_accuracy_is_high(self, trained, tiny_corpus_module):
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=777)
+        held_out = {
+            app.value: [generator.generate(app, duration=60.0, session=9)]
+            for app in AppType
+        }
+        report = trained.evaluate_traces(held_out)
+        assert report.mean_accuracy > 60.0
+
+    def test_or_reduces_identifiability_of_bt(self, trained):
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=778)
+        bt = generator.generate(AppType.BITTORRENT, 60.0, session=5)
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        flows = engine.apply(bt).observable_flows
+        report = trained.evaluate_flows({"bittorrent": flows})
+        assert report.accuracy_by_class["bittorrent"] < 60.0
+
+    def test_classify_windows_empty(self, trained):
+        assert trained.classify_windows([]) == []
+
+    def test_defense_evaluation_container(self, trained):
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=779)
+        evaluation = DefenseEvaluation()
+        trace = generator.generate(AppType.CHATTING, 60.0, session=3)
+        evaluation.add("chatting", PacketPadding().apply(trace))
+        report = trained.evaluate_defense(evaluation)
+        assert report.confusion.total > 0
+
+    def test_report_mean_fp(self, trained):
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=780)
+        held_out = {
+            app.value: [generator.generate(app, duration=60.0, session=4)]
+            for app in AppType
+        }
+        report = trained.evaluate_traces(held_out)
+        assert 0.0 <= report.mean_false_positive <= 100.0
+
+
+class TestFeatureMasking:
+    def test_timing_only_attacker(self, tiny_corpus_module):
+        pipeline = AttackPipeline(
+            window=5.0, seed=0, feature_indices=(0, 5, 6, 11)
+        )
+        pipeline.train(tiny_corpus_module)
+        assert pipeline.is_trained
+        # A timing-only attacker still beats random guessing (1/7).
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=781)
+        held_out = {
+            app.value: [generator.generate(app, duration=60.0, session=6)]
+            for app in AppType
+        }
+        report = pipeline.evaluate_traces(held_out)
+        assert report.mean_accuracy > 100.0 / 7.0

@@ -1,0 +1,135 @@
+"""Tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classifiers import (
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LinearSvm,
+    MlpClassifier,
+    best_classifier,
+    default_attackers,
+)
+
+
+def _blobs(rng, n_per_class=80, n_classes=3, spread=0.5):
+    centers = rng.normal(0, 4.0, size=(n_classes, 6))
+    xs, ys = [], []
+    for index, center in enumerate(centers):
+        xs.append(center + rng.normal(0, spread, size=(n_per_class, 6)))
+        ys.append(np.full(n_per_class, index))
+    x = np.vstack(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    return x[order], y[order]
+
+
+ALL_CLASSIFIERS = [
+    lambda: LinearSvm(seed=0, epochs=20),
+    lambda: MlpClassifier(seed=0, epochs=40),
+    lambda: GaussianNaiveBayes(),
+    lambda: KNearestNeighbors(k=3),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS, ids=["svm", "nn", "bayes", "knn"])
+class TestCommonBehaviour:
+    def test_separable_blobs(self, factory, rng):
+        x, y = _blobs(rng)
+        classifier = factory().fit(x, y, 3)
+        assert classifier.score(x, y) > 0.95
+
+    def test_generalizes_to_fresh_draws(self, factory, rng):
+        x, y = _blobs(rng)
+        classifier = factory().fit(x, y, 3)
+        x2, y2 = _blobs(np.random.default_rng(123))
+        # Same generator parameters -> different sample, same geometry is
+        # not guaranteed, so draw from the *same* rng state family:
+        x_train, x_test = x[: len(x) // 2], x[len(x) // 2 :]
+        y_train, y_test = y[: len(y) // 2], y[len(y) // 2 :]
+        classifier = factory().fit(x_train, y_train, 3)
+        assert classifier.score(x_test, y_test) > 0.9
+
+    def test_predict_shape(self, factory, rng):
+        x, y = _blobs(rng)
+        classifier = factory().fit(x, y, 3)
+        assert classifier.predict(x[:7]).shape == (7,)
+
+    def test_empty_fit_rejected(self, factory):
+        with pytest.raises((ValueError, IndexError)):
+            factory().fit(np.zeros((0, 6)), np.zeros(0, dtype=int), 3)
+
+    def test_unfitted_predict_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((2, 6)))
+
+
+class TestSvmSpecifics:
+    def test_decision_function_shape(self, rng):
+        x, y = _blobs(rng)
+        svm = LinearSvm(seed=0, epochs=10).fit(x, y, 3)
+        assert svm.decision_function(x[:5]).shape == (5, 3)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            LinearSvm(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSvm(epochs=0)
+
+
+class TestMlpSpecifics:
+    def test_predict_proba_sums_to_one(self, rng):
+        x, y = _blobs(rng)
+        mlp = MlpClassifier(seed=0, epochs=20).fit(x, y, 3)
+        probs = mlp.predict_proba(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            MlpClassifier(hidden=0)
+        with pytest.raises(ValueError):
+            MlpClassifier(learning_rate=-1.0)
+
+
+class TestKnnSpecifics:
+    def test_k_larger_than_dataset_is_clamped(self, rng):
+        x, y = _blobs(rng, n_per_class=2)
+        knn = KNearestNeighbors(k=100).fit(x, y, 3)
+        assert knn.predict(x).shape == (len(x),)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+
+class TestBayesSpecifics:
+    def test_log_likelihood_ranks_true_class(self, rng):
+        x, y = _blobs(rng)
+        bayes = GaussianNaiveBayes().fit(x, y, 3)
+        likelihood = bayes.log_likelihood(x[:20])
+        assert (np.argmax(likelihood, axis=1) == y[:20]).mean() > 0.9
+
+    def test_missing_class_does_not_crash(self, rng):
+        x, y = _blobs(rng, n_classes=2)
+        bayes = GaussianNaiveBayes().fit(x, y, 5)  # classes 2..4 unseen
+        assert set(bayes.predict(x)) <= {0, 1}
+
+
+class TestSelection:
+    def test_best_classifier_returns_fitted_winner(self, rng):
+        x, y = _blobs(rng)
+        winner, accuracy = best_classifier(
+            [LinearSvm(seed=0, epochs=10), GaussianNaiveBayes()], x, y, 3
+        )
+        assert accuracy > 0.8
+        assert winner.predict(x[:3]).shape == (3,)
+
+    def test_default_attackers_are_svm_and_nn(self):
+        names = {c.name for c in default_attackers()}
+        assert names == {"svm", "nn"}
+
+    def test_requires_candidates(self, rng):
+        x, y = _blobs(rng)
+        with pytest.raises(ValueError):
+            best_classifier([], x, y, 3)

@@ -1,0 +1,69 @@
+"""Tests for RSSI linking (Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linking import RssiLinker, linking_accuracy
+from repro.traffic.trace import Trace
+
+
+def _flow(rssi_mean: float, n: int = 50, seed: int = 0) -> Trace:
+    rng = np.random.default_rng(seed)
+    return Trace.from_arrays(
+        times=np.arange(n) * 0.1,
+        sizes=np.full(n, 100),
+        directions=np.ones(n, dtype=np.int8),
+        rssi=rng.normal(rssi_mean, 0.5, n),
+    )
+
+
+class TestSignature:
+    def test_mean_uplink_rssi(self):
+        linker = RssiLinker()
+        assert linker.flow_signature(_flow(-50.0)) == pytest.approx(-50.0, abs=0.5)
+
+    def test_nan_without_rssi(self):
+        trace = Trace.from_arrays([0.0], [10], directions=[1])
+        assert np.isnan(RssiLinker().flow_signature(trace))
+
+    def test_downlink_frames_ignored(self):
+        trace = Trace.from_arrays(
+            [0.0, 1.0], [10, 10], directions=[0, 0], rssi=[-40.0, -40.0]
+        )
+        assert np.isnan(RssiLinker().flow_signature(trace))
+
+
+class TestLinking:
+    def test_groups_same_transmitter(self):
+        flows = [_flow(-50.0, seed=1), _flow(-50.3, seed=2), _flow(-70.0, seed=3)]
+        groups = RssiLinker(threshold_db=3.0).link(flows)
+        assert sorted(map(sorted, groups)) == [[0, 1], [2]]
+
+    def test_separates_distant_transmitters(self):
+        flows = [_flow(-45.0), _flow(-60.0), _flow(-75.0)]
+        groups = RssiLinker(threshold_db=3.0).link(flows)
+        assert len(groups) == 3
+
+    def test_rssi_free_flows_stay_singletons(self):
+        silent = Trace.from_arrays([0.0], [10], directions=[1])
+        groups = RssiLinker().link([silent, silent])
+        assert len(groups) == 2
+
+
+class TestLinkingAccuracy:
+    def test_perfect_grouping(self):
+        groups = [[0, 1], [2]]
+        assert linking_accuracy(groups, [7, 7, 8]) == 1.0
+
+    def test_all_split_when_same_owner(self):
+        groups = [[0], [1]]
+        assert linking_accuracy(groups, [7, 7]) == 0.0
+
+    def test_partial_credit(self):
+        groups = [[0, 1, 2]]
+        # Pairs: (0,1) same-owner correct, (0,2) and (1,2) wrong.
+        assert linking_accuracy(groups, [7, 7, 8]) == pytest.approx(1 / 3)
+
+    def test_trivial_cases(self):
+        assert linking_accuracy([], []) == 1.0
+        assert linking_accuracy([[0]], [5]) == 1.0

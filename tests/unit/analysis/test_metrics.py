@@ -1,0 +1,84 @@
+"""Tests for the accuracy / FP metrics of Sec. IV."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    accuracy_by_class,
+    false_positive_rates,
+    mean_accuracy,
+)
+
+CLASSES = ("a", "b", "c")
+
+
+def _confusion() -> ConfusionMatrix:
+    # truth a: 8 right, 2 as b; truth b: 10 right; truth c: 5 right, 5 as b.
+    matrix = np.array([[8, 2, 0], [0, 10, 0], [0, 5, 5]])
+    return ConfusionMatrix(CLASSES, matrix)
+
+
+class TestConfusionMatrix:
+    def test_from_predictions(self):
+        confusion = ConfusionMatrix.from_predictions(
+            ["a", "a", "b"], ["a", "b", "b"], CLASSES
+        )
+        assert confusion.matrix[0, 0] == 1
+        assert confusion.matrix[0, 1] == 1
+        assert confusion.total == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_predictions(["a"], ["a", "b"], CLASSES)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(CLASSES, np.zeros((2, 2)))
+
+    def test_merge(self):
+        merged = _confusion().merge(_confusion())
+        assert merged.total == 2 * _confusion().total
+
+    def test_merge_requires_same_classes(self):
+        other = ConfusionMatrix(("x", "y"), np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            _confusion().merge(other)
+
+
+class TestAccuracy:
+    def test_per_class(self):
+        accuracy = accuracy_by_class(_confusion())
+        assert accuracy["a"] == pytest.approx(80.0)
+        assert accuracy["b"] == pytest.approx(100.0)
+        assert accuracy["c"] == pytest.approx(50.0)
+
+    def test_mean_is_macro_average(self):
+        # "mean accuracy is ... overall average recognition probability".
+        assert mean_accuracy(_confusion()) == pytest.approx((80 + 100 + 50) / 3)
+
+    def test_empty_class_is_nan(self):
+        matrix = np.array([[5, 0, 0], [0, 0, 0], [0, 0, 5]])
+        accuracy = accuracy_by_class(ConfusionMatrix(CLASSES, matrix))
+        assert np.isnan(accuracy["b"])
+
+    def test_mean_skips_nan(self):
+        matrix = np.array([[5, 0, 0], [0, 0, 0], [0, 0, 5]])
+        assert mean_accuracy(ConfusionMatrix(CLASSES, matrix)) == pytest.approx(100.0)
+
+
+class TestFalsePositives:
+    def test_fp_definition(self):
+        # FP(b) = non-b classified b / non-b = (2 + 5) / 20.
+        fp = false_positive_rates(_confusion())
+        assert fp["b"] == pytest.approx(100.0 * 7 / 20)
+        assert fp["a"] == pytest.approx(0.0)
+        assert fp["c"] == pytest.approx(0.0)
+
+    def test_high_accuracy_can_coexist_with_high_fp(self):
+        # The paper's Sec. IV-C point: class b has 100% accuracy AND the
+        # highest FP — "high accuracy does not mean an adversary is easy
+        # to detect the application".
+        confusion = _confusion()
+        assert accuracy_by_class(confusion)["b"] == 100.0
+        assert false_positive_rates(confusion)["b"] > 30.0

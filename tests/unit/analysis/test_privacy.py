@@ -1,0 +1,48 @@
+"""Tests for privacy entropy metrics."""
+
+import pytest
+
+from repro.analysis.privacy import (
+    attribution_entropy_bits,
+    effective_anonymity_set,
+    wlan_privacy_entropy_bits,
+)
+
+
+class TestAttributionEntropy:
+    def test_uniform_recovers_log2_n(self):
+        assert attribution_entropy_bits([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass_is_zero(self):
+        assert attribution_entropy_bits([1.0, 0.0, 0.0]) == 0.0
+
+    def test_skewed_between_zero_and_log2n(self):
+        h = attribution_entropy_bits([0.7, 0.2, 0.1])
+        assert 0.0 < h < 1.585
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            attribution_entropy_bits([0.5, 0.2])
+
+
+class TestAnonymitySet:
+    def test_uniform_perplexity(self):
+        assert effective_anonymity_set([0.2] * 5) == pytest.approx(5.0)
+
+    def test_certain_attribution(self):
+        assert effective_anonymity_set([1.0]) == pytest.approx(1.0)
+
+
+class TestWlanEntropy:
+    def test_matches_paper_formula(self):
+        # Sec. III-C-3: H = log2 N.
+        assert wlan_privacy_entropy_bits(8, 1) == pytest.approx(3.0)
+
+    def test_interfaces_add_log2_i_bits(self):
+        base = wlan_privacy_entropy_bits(10, 1)
+        reshaped = wlan_privacy_entropy_bits(10, 4)
+        assert reshaped - base == pytest.approx(2.0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wlan_privacy_entropy_bits(0, 3)

@@ -1,0 +1,34 @@
+"""Tests for feature standardization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_passthrough(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled[:, 0], 0.0)  # centered, not divided by ~0
+
+    def test_transform_uses_train_statistics(self, rng):
+        train = rng.normal(0, 1, size=(100, 2))
+        test = rng.normal(10, 1, size=(100, 2))
+        scaler = StandardScaler().fit(train)
+        scaled_test = scaler.transform(test)
+        assert scaled_test.mean() > 5  # not re-centered on the test set
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))

@@ -1,0 +1,58 @@
+"""Tests for eavesdropping-window slicing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.windows import sliding_windows, window_traces
+from repro.traffic.trace import Trace
+
+
+class TestSlidingWindows:
+    def test_basic_slicing(self):
+        trace = Trace.from_arrays(np.arange(10) * 1.0, np.full(10, 100))
+        windows = sliding_windows(trace, window=5.0, min_packets=2)
+        assert len(windows) == 2
+        assert all(len(w) == 5 for w in windows)
+
+    def test_windows_rebased_to_zero(self):
+        trace = Trace.from_arrays([10.0, 11.0, 12.0], [1, 1, 1])
+        [window] = sliding_windows(trace, window=5.0, min_packets=2)
+        assert window.times[0] == pytest.approx(0.0)
+
+    def test_sparse_windows_dropped(self):
+        trace = Trace.from_arrays([0.0, 0.1, 7.0], [1, 1, 1])
+        windows = sliding_windows(trace, window=5.0, min_packets=2)
+        assert len(windows) == 1  # the lone packet at t=7 is unclassifiable
+
+    def test_min_packets_threshold(self):
+        trace = Trace.from_arrays([0.0, 1.0, 2.0], [1, 1, 1])
+        assert len(sliding_windows(trace, 5.0, min_packets=4)) == 0
+
+    def test_empty_trace(self):
+        assert sliding_windows(Trace.empty(), 5.0) == []
+
+    def test_label_propagates(self):
+        trace = Trace.from_arrays([0.0, 1.0], [1, 1], label="bt")
+        [window] = sliding_windows(trace, 5.0)
+        assert window.label == "bt"
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_windows(Trace.empty(), 0.0)
+
+    def test_packet_conservation(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, 500))
+        trace = Trace.from_arrays(times, np.full(500, 10))
+        windows = sliding_windows(trace, 5.0, min_packets=1)
+        assert sum(len(w) for w in windows) == 500
+
+
+class TestWindowTraces:
+    def test_concatenates_across_flows(self):
+        a = Trace.from_arrays(np.arange(10) * 1.0, np.full(10, 1))
+        b = Trace.from_arrays(np.arange(6) * 1.0, np.full(6, 1))
+        windows = window_traces([a, b], window=5.0, min_packets=2)
+        # a yields two full windows; b yields one (its t=5 straggler is
+        # below min_packets).
+        assert len(windows) == 2 + 1

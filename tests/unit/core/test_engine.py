@@ -1,0 +1,53 @@
+"""Tests for the reshaping engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ReshapingEngine
+from repro.core.schedulers import OrthogonalReshaper, RoundRobinReshaper
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(3)
+    sizes = rng.choice([150, 700, 1570], size=300)
+    return Trace.from_arrays(np.arange(300) * 0.02, sizes, label="bt")
+
+
+class TestApply:
+    def test_flows_partition_the_trace(self, trace):
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        result = engine.apply(trace)
+        assert sum(len(f) for f in result.flows.values()) == len(trace)
+        assert result.interface_count == 3
+
+    def test_zero_data_overhead(self, trace):
+        # Sec. V-B: reshaping adds no noise traffic.
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        assert engine.apply(trace).data_overhead_bytes == 0
+
+    def test_config_overhead_is_two_messages(self, trace):
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        assert engine.config_overhead_bytes == 2 * 196
+
+    def test_observable_flows_order(self, trace):
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        result = engine.apply(trace)
+        flows = result.observable_flows
+        assert len(flows) == len(result.flows)
+
+    def test_scheduler_resets_between_traces(self, trace):
+        engine = ReshapingEngine(RoundRobinReshaper(interfaces=3))
+        first = engine.apply(trace).reshaped.ifaces.copy()
+        second = engine.apply(trace).reshaped.ifaces
+        assert np.array_equal(first, second)
+
+    def test_apply_many(self, trace):
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+        results = engine.apply_many([trace, trace])
+        assert len(results) == 2
+
+    def test_verification_can_be_disabled(self, trace):
+        engine = ReshapingEngine(OrthogonalReshaper.paper_default(), verify=False)
+        assert engine.apply(trace).interface_count == 3

@@ -1,0 +1,79 @@
+"""Tests for the Eq. 1 optimization machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimization import (
+    ReshapingObjective,
+    interface_distributions,
+    objective_value,
+    verify_partition,
+)
+from repro.core.schedulers import OrthogonalReshaper, RandomReshaper
+from repro.core.targets import orthogonal_targets
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(0)
+    sizes = rng.choice([150, 700, 1570], size=600, p=[0.4, 0.3, 0.3])
+    return Trace.from_arrays(np.arange(600) * 0.01, sizes)
+
+
+class TestInterfaceDistributions:
+    def test_shapes(self, trace):
+        targets = orthogonal_targets((232, 1540, 1576))
+        reshaped = OrthogonalReshaper(targets).reshape(trace)
+        p, counts = interface_distributions(reshaped, targets)
+        assert p.shape == (3, 3)
+        assert counts.sum() == len(trace)
+
+    def test_empty_interface_row_is_zero(self, trace):
+        targets = orthogonal_targets((232, 1540, 1576))
+        p, counts = interface_distributions(trace, targets)  # all on iface 0
+        assert counts[1] == counts[2] == 0
+        assert np.all(p[1] == 0) and np.all(p[2] == 0)
+
+
+class TestObjective:
+    def test_or_achieves_zero(self, trace):
+        # Sec. III-C-2: OR satisfies p_i == phi_i exactly.
+        targets = orthogonal_targets((232, 1540, 1576))
+        reshaped = OrthogonalReshaper(targets).reshape(trace)
+        objective = ReshapingObjective.evaluate(reshaped, targets)
+        assert objective.is_optimal
+        assert objective.value == pytest.approx(0.0, abs=1e-12)
+
+    def test_random_does_not_achieve_zero(self, trace):
+        targets = orthogonal_targets((232, 1540, 1576))
+        reshaped = RandomReshaper(interfaces=3, seed=0).reshape(trace)
+        objective = ReshapingObjective.evaluate(reshaped, targets)
+        assert objective.value > 0.5
+
+    def test_objective_value_shape_check(self):
+        targets = orthogonal_targets((232, 1576))
+        with pytest.raises(ValueError):
+            objective_value(np.eye(3), targets)
+
+    def test_per_interface_deviation_sums_to_value(self, trace):
+        targets = orthogonal_targets((232, 1540, 1576))
+        reshaped = RandomReshaper(interfaces=3, seed=0).reshape(trace)
+        objective = ReshapingObjective.evaluate(reshaped, targets)
+        assert sum(objective.per_interface_deviation) == pytest.approx(objective.value)
+
+
+class TestVerifyPartition:
+    def test_accepts_pure_relabeling(self, trace):
+        reshaped = OrthogonalReshaper.paper_default().reshape(trace)
+        verify_partition(trace, reshaped)  # must not raise
+
+    def test_rejects_size_changes(self, trace):
+        tampered = trace.with_sizes(trace.sizes + 1)
+        with pytest.raises(AssertionError, match="sizes"):
+            verify_partition(trace, tampered)
+
+    def test_rejects_packet_loss(self, trace):
+        shorter = trace.select(np.arange(len(trace)) < len(trace) - 1)
+        with pytest.raises(AssertionError, match="count"):
+            verify_partition(trace, shorter)

@@ -1,0 +1,81 @@
+"""Tests for target distributions and the paper's range sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.targets import (
+    FIG4_RANGES,
+    PAPER_RANGES_I2,
+    PAPER_RANGES_I3,
+    PAPER_RANGES_I5,
+    TargetDistribution,
+    orthogonal_targets,
+    paper_ranges,
+)
+
+
+class TestPaperRanges:
+    def test_fig4_ranges(self):
+        assert FIG4_RANGES == (525, 1050, 1576)
+
+    def test_default_ranges(self):
+        # Sec. IV-B: (0, 232], (232, 1540], (1540, 1576].
+        assert PAPER_RANGES_I3 == (232, 1540, 1576)
+
+    def test_table5_ranges(self):
+        assert PAPER_RANGES_I2 == (1500, 1576)
+        assert PAPER_RANGES_I5 == (232, 500, 1000, 1540, 1576)
+
+    def test_lookup(self):
+        assert paper_ranges(3) == PAPER_RANGES_I3
+
+    def test_unknown_interface_count(self):
+        with pytest.raises(ValueError):
+            paper_ranges(4)
+
+
+class TestTargetDistribution:
+    def test_orthogonal_identity(self):
+        targets = orthogonal_targets(PAPER_RANGES_I3)
+        assert targets.interfaces == 3
+        assert targets.ranges == 3
+        assert targets.is_orthogonal()
+
+    def test_owning_interface(self):
+        targets = orthogonal_targets(PAPER_RANGES_I3)
+        assert list(targets.owning_interface()) == [0, 1, 2]
+
+    def test_range_of_vectorized(self):
+        targets = orthogonal_targets(PAPER_RANGES_I3)
+        sizes = np.array([1, 232, 233, 1540, 1541, 1576, 2000])
+        assert list(targets.range_of(sizes)) == [0, 0, 1, 1, 2, 2, 2]
+
+    def test_non_orthogonal_detected(self):
+        matrix = np.array([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5]])
+        targets = TargetDistribution(PAPER_RANGES_I3, matrix)
+        assert not targets.is_orthogonal()
+        with pytest.raises(ValueError):
+            targets.owning_interface()
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TargetDistribution(PAPER_RANGES_I3, np.full((3, 3), 0.5))
+
+    def test_rejects_negative_probabilities(self):
+        matrix = np.array([[1.5, -0.5, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        with pytest.raises(ValueError, match=">= 0"):
+            TargetDistribution(PAPER_RANGES_I3, matrix)
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            TargetDistribution((500, 200, 1576), np.eye(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            TargetDistribution((232, 1576), np.eye(3))
+
+    def test_eq2_orthogonality_definition(self):
+        # Eq. 2: dot products of distinct rows are zero.
+        targets = orthogonal_targets(FIG4_RANGES)
+        gram = targets.matrix @ targets.matrix.T
+        assert np.allclose(gram, np.eye(3))

@@ -1,0 +1,31 @@
+"""Tests for overhead accounting."""
+
+import pytest
+
+from repro.defenses.base import DefendedTraffic
+from repro.defenses.overhead import byte_overhead, overhead_percent
+from repro.traffic.trace import Trace
+
+
+def _defended(extra: int) -> DefendedTraffic:
+    trace = Trace.from_arrays([0.0, 1.0], [400, 600])
+    return DefendedTraffic(original=trace, flows={0: trace}, extra_bytes=extra)
+
+
+class TestOverhead:
+    def test_byte_overhead(self):
+        assert byte_overhead(_defended(123)) == 123
+
+    def test_percent(self):
+        assert overhead_percent(_defended(500)) == pytest.approx(50.0)
+
+    def test_zero_for_reshaping_style_defense(self):
+        assert overhead_percent(_defended(0)) == 0.0
+
+    def test_empty_original(self):
+        defended = DefendedTraffic(Trace.empty(), flows={}, extra_bytes=10)
+        assert overhead_percent(defended) == 0.0
+
+    def test_defended_bytes_sums_flows(self):
+        defended = _defended(0)
+        assert defended.defended_bytes == 1000

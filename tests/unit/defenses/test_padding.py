@@ -1,0 +1,90 @@
+"""Tests for packet padding."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.padding import PacketPadding, data_direction_of
+from repro.traffic.apps import AppType
+from repro.traffic.packet import DOWNLINK, UPLINK
+from repro.traffic.trace import Trace
+
+
+class TestDataDirection:
+    def test_uploading_is_uplink(self):
+        assert data_direction_of(AppType.UPLOADING) is UPLINK
+        assert data_direction_of("uploading") is UPLINK
+
+    def test_everything_else_is_downlink(self):
+        for app in AppType:
+            if app is AppType.UPLOADING:
+                continue
+            assert data_direction_of(app) is DOWNLINK
+
+    def test_unknown_defaults_to_downlink(self):
+        assert data_direction_of(None) is DOWNLINK
+        assert data_direction_of("mystery-app") is DOWNLINK
+
+
+class TestPadding:
+    def _trace(self, label="browsing"):
+        return Trace.from_arrays(
+            times=[0.0, 0.1, 0.2, 0.3],
+            sizes=[100, 1500, 200, 1576],
+            directions=[0, 0, 1, 1],
+            label=label,
+        )
+
+    def test_pads_data_direction_to_max(self):
+        defended = PacketPadding().apply(self._trace())
+        flow = defended.observable_flows[0]
+        down = flow.direction_view(DOWNLINK)
+        assert set(down.sizes.tolist()) == {1576}
+
+    def test_leaves_other_direction_alone(self):
+        defended = PacketPadding().apply(self._trace())
+        up = defended.observable_flows[0].direction_view(UPLINK)
+        assert list(up.sizes) == [200, 1576]
+
+    def test_uploading_pads_uplink(self):
+        defended = PacketPadding().apply(self._trace(label="uploading"))
+        up = defended.observable_flows[0].direction_view(UPLINK)
+        assert set(up.sizes.tolist()) == {1576}
+
+    def test_pad_both_directions(self):
+        defended = PacketPadding(pad_both_directions=True).apply(self._trace())
+        assert set(defended.observable_flows[0].sizes.tolist()) == {1576}
+
+    def test_never_shrinks(self):
+        trace = self._trace()
+        defended = PacketPadding(pad_to=500).apply(trace)
+        flow = defended.observable_flows[0]
+        assert np.all(flow.sizes >= trace.sizes)
+
+    def test_overhead_accounting(self):
+        trace = self._trace()
+        defended = PacketPadding().apply(trace)
+        expected_extra = (1576 - 100) + (1576 - 1500)
+        assert defended.extra_bytes == expected_extra
+        assert defended.overhead_fraction == pytest.approx(
+            expected_extra / trace.total_bytes
+        )
+
+    def test_timing_unchanged(self):
+        trace = self._trace()
+        flow = PacketPadding().apply(trace).observable_flows[0]
+        assert np.array_equal(flow.times, trace.times)
+
+    def test_rejects_bad_pad_to(self):
+        with pytest.raises(ValueError):
+            PacketPadding(pad_to=0)
+
+    def test_chatting_overhead_matches_table6_magnitude(self, generator):
+        # Table VI: chatting padding overhead ~485% (1576/269 - 1).
+        from repro.traffic.apps import AppType
+
+        trace = generator.generate(AppType.CHATTING, 120.0)
+        defended = PacketPadding().apply(trace)
+        down = trace.direction_view(DOWNLINK)
+        expected = 1576 / down.sizes.mean() - 1
+        measured = defended.extra_bytes / down.sizes.sum()
+        assert measured == pytest.approx(expected, rel=0.01)

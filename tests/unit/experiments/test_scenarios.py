@@ -1,0 +1,62 @@
+"""Tests for scenario construction and caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Reshaper
+from repro.experiments.scenarios import SCHEME_NAMES, EvaluationScenario, build_schemes
+from repro.traffic.apps import AppType
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return EvaluationScenario(
+        seed=5, train_duration=30.0, eval_duration=30.0, train_sessions=2, eval_sessions=2
+    )
+
+
+class TestBuildSchemes:
+    def test_scheme_order_matches_tables(self):
+        assert SCHEME_NAMES == ("Original", "FH", "RA", "RR", "OR")
+        assert list(build_schemes()) == list(SCHEME_NAMES)
+
+    def test_original_is_none_rest_are_reshapers(self):
+        schemes = build_schemes()
+        assert schemes["Original"] is None
+        for name in ("FH", "RA", "RR", "OR"):
+            assert isinstance(schemes[name], Reshaper)
+
+    def test_interface_count_propagates(self):
+        schemes = build_schemes(interfaces=5)
+        assert schemes["RA"].interfaces == 5
+        assert schemes["OR"].interfaces == 5
+
+
+class TestScenario:
+    def test_training_traces_cached(self, scenario):
+        first = scenario.training_traces()
+        second = scenario.training_traces()
+        assert first["chatting"][0] is second["chatting"][0]
+
+    def test_training_covers_all_apps(self, scenario):
+        train = scenario.training_traces()
+        assert set(train) == {app.value for app in AppType}
+        assert all(len(traces) == 2 for traces in train.values())
+
+    def test_evaluation_sessions_count(self, scenario):
+        evaluation = scenario.evaluation_traces()
+        assert all(len(traces) == 2 for traces in evaluation.values())
+
+    def test_evaluation_disjoint_from_training(self, scenario):
+        train = scenario.training_traces()["video"][0]
+        held_out = scenario.evaluation_trace(AppType.VIDEO, 0)
+        assert not np.array_equal(train.times, held_out.times)
+
+    def test_same_seed_reproduces(self):
+        a = EvaluationScenario(seed=9, train_duration=20.0, train_sessions=1,
+                               eval_duration=20.0, eval_sessions=1)
+        b = EvaluationScenario(seed=9, train_duration=20.0, train_sessions=1,
+                               eval_duration=20.0, eval_sessions=1)
+        ta = a.training_traces()["gaming"][0]
+        tb = b.training_traces()["gaming"][0]
+        assert np.array_equal(ta.times, tb.times)

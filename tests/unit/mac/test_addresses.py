@@ -1,0 +1,94 @@
+"""Tests for MAC addresses and the paper's privacy arithmetic."""
+
+import math
+
+import pytest
+
+from repro.mac.addresses import (
+    MacAddress,
+    collision_probability,
+    privacy_entropy_bits,
+    random_mac,
+)
+
+
+class TestMacAddress:
+    def test_parse_roundtrip(self):
+        address = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert str(address) == "aa:bb:cc:dd:ee:ff"
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("aa:bb:cc", "zz:bb:cc:dd:ee:ff", "aabbccddeeff", "1:2:3:4:5:300"):
+            with pytest.raises(ValueError):
+                MacAddress.parse(bad)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_to_bytes(self):
+        assert MacAddress.parse("00:00:00:00:00:01").to_bytes() == b"\x00" * 5 + b"\x01"
+
+    def test_ordering_and_hash(self):
+        a, b = MacAddress(1), MacAddress(2)
+        assert a < b
+        assert len({a, b, MacAddress(1)}) == 2
+
+    def test_flag_bits(self):
+        local = MacAddress.parse("02:00:00:00:00:00")
+        multicast = MacAddress.parse("01:00:00:00:00:00")
+        assert local.is_locally_administered
+        assert multicast.is_multicast
+
+
+class TestRandomMac:
+    def test_unicast_always(self, rng):
+        for _ in range(50):
+            assert not random_mac(rng).is_multicast
+
+    def test_locally_administered_flag(self, rng):
+        assert random_mac(rng, locally_administered=True).is_locally_administered
+        assert not random_mac(rng, locally_administered=False).is_locally_administered
+
+    def test_draws_are_diverse(self, rng):
+        draws = {random_mac(rng) for _ in range(100)}
+        assert len(draws) == 100
+
+
+class TestCollisionProbability:
+    def test_zero_for_small_counts(self):
+        assert collision_probability(0) == 0.0
+        assert collision_probability(1) == 0.0
+
+    def test_birthday_bound_small_space(self):
+        # 23 people in a 365-day year: the classic ~50.7%.
+        p = collision_probability(23, space_bits=0) if False else None
+        # Use an 8-bit space (256 values): 20 draws -> p ~ 53%.
+        p = collision_probability(20, space_bits=8)
+        assert 0.4 < p < 0.6
+
+    def test_monotone_in_n(self):
+        values = [collision_probability(n, space_bits=16) for n in (2, 10, 100, 400)]
+        assert values == sorted(values)
+
+    def test_tiny_for_realistic_wlan(self):
+        # A WLAN with 1000 virtual addresses in the 48-bit space.
+        assert collision_probability(1000) < 1e-8
+
+    def test_saturates_at_one(self):
+        assert collision_probability(10**9, space_bits=16) == pytest.approx(1.0)
+
+
+class TestPrivacyEntropy:
+    def test_log2(self):
+        assert privacy_entropy_bits(8) == pytest.approx(3.0)
+
+    def test_increases_with_interfaces(self):
+        # Sec. III-C-3: more virtual addresses -> more privacy entropy.
+        assert privacy_entropy_bits(30) > privacy_entropy_bits(10)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            privacy_entropy_bits(0)

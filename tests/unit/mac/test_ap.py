@@ -1,0 +1,64 @@
+"""Tests for the AP data plane."""
+
+import pytest
+
+from repro.core.schedulers import OrthogonalReshaper
+from repro.mac.addresses import MacAddress
+from repro.mac.ap import AccessPointDataPlane
+from repro.mac.frames import Dot11Frame
+
+AP = MacAddress.parse("00:aa:00:aa:00:aa")
+CLIENT = MacAddress.parse("00:11:22:33:44:55")
+VIRTUALS = [MacAddress(0x020000000010 + i) for i in range(3)]
+
+
+@pytest.fixture
+def data_plane():
+    plane = AccessPointDataPlane(address=AP)
+    plane.register_client(CLIENT, VIRTUALS, scheduler=OrthogonalReshaper.paper_default())
+    return plane
+
+
+class TestRegistration:
+    def test_uses_virtual_interfaces(self, data_plane):
+        assert data_plane.uses_virtual_interfaces(CLIENT)
+        assert not data_plane.uses_virtual_interfaces(AP)
+
+    def test_deregister(self, data_plane):
+        freed = data_plane.deregister_client(CLIENT)
+        assert set(freed) == set(VIRTUALS)
+        assert not data_plane.uses_virtual_interfaces(CLIENT)
+
+
+class TestUplink:
+    def test_translates_virtual_source(self, data_plane):
+        frame = Dot11Frame(src=VIRTUALS[2], dst=AP, payload_size=10)
+        forwarded = data_plane.receive_uplink(frame)
+        assert forwarded.src == CLIENT
+        assert data_plane.forwarded_to_ds[-1].src == CLIENT
+
+    def test_plain_clients_pass_through(self, data_plane):
+        other = MacAddress.parse("00:22:22:22:22:22")
+        frame = Dot11Frame(src=other, dst=AP, payload_size=10)
+        assert data_plane.receive_uplink(frame).src == other
+
+
+class TestDownlink:
+    def test_small_packet_goes_to_iface0(self, data_plane):
+        frame = Dot11Frame(src=AP, dst=CLIENT, payload_size=100)
+        assert data_plane.transmit_downlink(frame).dst == VIRTUALS[0]
+
+    def test_large_packet_goes_to_iface2(self, data_plane):
+        frame = Dot11Frame(src=AP, dst=CLIENT, payload_size=1530)
+        assert data_plane.transmit_downlink(frame).dst == VIRTUALS[2]
+
+    def test_unregistered_destination_unchanged(self, data_plane):
+        other = MacAddress.parse("00:22:22:22:22:22")
+        frame = Dot11Frame(src=AP, dst=other, payload_size=100)
+        assert data_plane.transmit_downlink(frame).dst == other
+
+    def test_no_scheduler_uses_iface0(self):
+        plane = AccessPointDataPlane(address=AP)
+        plane.register_client(CLIENT, VIRTUALS)
+        frame = Dot11Frame(src=AP, dst=CLIENT, payload_size=1500)
+        assert plane.transmit_downlink(frame).dst == VIRTUALS[0]

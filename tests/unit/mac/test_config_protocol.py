@@ -1,0 +1,97 @@
+"""Tests for the Fig. 2 configuration handshake."""
+
+import numpy as np
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.config_protocol import (
+    ConfigReply,
+    ConfigRequest,
+    ConfigurationError,
+    VirtualInterfaceNegotiation,
+)
+from repro.mac.crypto import SharedKeyCipher
+from repro.mac.pool import AddressPool
+
+CLIENT = MacAddress.parse("00:11:22:33:44:55")
+
+
+@pytest.fixture
+def cipher():
+    return SharedKeyCipher(b"wlan-psk")
+
+
+@pytest.fixture
+def negotiation(cipher, rng):
+    return VirtualInterfaceNegotiation(cipher, AddressPool(rng), max_interfaces_per_client=5)
+
+
+class TestMessages:
+    def test_request_roundtrip(self, cipher):
+        request = ConfigRequest(CLIENT, nonce=77, requested_interfaces=3)
+        wire = request.encode(cipher)
+        decoded = ConfigRequest.decode(wire, cipher, nonce_hint=77)
+        assert decoded == request
+
+    def test_reply_roundtrip(self, cipher):
+        reply = ConfigReply(CLIENT, nonce=77, virtual_addresses=(MacAddress(1), MacAddress(2)))
+        wire = reply.encode(cipher)
+        decoded = ConfigReply.decode(wire, cipher, nonce_hint=77)
+        assert decoded == reply
+
+    def test_request_tamper_detected(self, cipher):
+        wire = bytearray(ConfigRequest(CLIENT, 77, 3).encode(cipher))
+        wire[1] ^= 0x55
+        with pytest.raises(ConfigurationError):
+            ConfigRequest.decode(bytes(wire), cipher, nonce_hint=77)
+
+    def test_wire_hides_mapping(self, cipher):
+        # Encrypted config frames must not leak the addresses in clear.
+        reply = ConfigReply(CLIENT, 77, (MacAddress.parse("02:aa:bb:cc:dd:ee"),))
+        wire = reply.encode(cipher)
+        assert b"02:aa:bb:cc:dd:ee" not in wire
+        assert str(CLIENT).encode() not in wire
+
+
+class TestHandshake:
+    def test_full_flow(self, negotiation, rng):
+        request, wire = negotiation.build_request(CLIENT, 3, rng)
+        reply, reply_wire = negotiation.handle_request(wire, request.nonce)
+        verified = negotiation.verify_reply(request, reply_wire)
+        assert verified.nonce == request.nonce
+        assert len(verified.virtual_addresses) == 3
+        assert len(set(verified.virtual_addresses)) == 3
+
+    def test_ap_caps_interface_count(self, negotiation, rng):
+        request, wire = negotiation.build_request(CLIENT, 99, rng)
+        reply, _ = negotiation.handle_request(wire, request.nonce)
+        assert len(reply.virtual_addresses) == 5  # the AP's cap
+
+    def test_client_rejects_wrong_nonce(self, negotiation, cipher, rng):
+        request, wire = negotiation.build_request(CLIENT, 2, rng)
+        forged = ConfigReply(CLIENT, request.nonce + 1, (MacAddress(9),))
+        # Encode under the forged nonce's keystream, then hand to client
+        # expecting the original nonce: decryption fails authentication.
+        forged_wire = forged.encode(cipher)
+        with pytest.raises(ConfigurationError):
+            negotiation.verify_reply(request, forged_wire)
+
+    def test_replay_rejected(self, negotiation, rng):
+        request, wire = negotiation.build_request(CLIENT, 2, rng)
+        negotiation.handle_request(wire, request.nonce)
+        with pytest.raises(ConfigurationError, match="replay"):
+            negotiation.handle_request(wire, request.nonce)
+
+    def test_revoke_recycles_pool(self, negotiation, rng):
+        request, wire = negotiation.build_request(CLIENT, 4, rng)
+        negotiation.handle_request(wire, request.nonce)
+        assert negotiation.revoke(CLIENT) == 4
+
+    def test_zero_interface_request_rejected(self, negotiation, rng):
+        with pytest.raises(ValueError):
+            negotiation.build_request(CLIENT, 0, rng)
+
+    def test_nonces_are_fresh(self, negotiation, rng):
+        nonce_a = negotiation.build_request(CLIENT, 1, rng)[0].nonce
+        nonce_b = negotiation.build_request(CLIENT, 1, rng)[0].nonce
+        assert nonce_a != nonce_b

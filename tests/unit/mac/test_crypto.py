@@ -1,0 +1,57 @@
+"""Tests for the toy authenticated cipher."""
+
+import pytest
+
+from repro.mac.crypto import IntegrityError, SharedKeyCipher
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self):
+        cipher = SharedKeyCipher(b"psk")
+        assert cipher.decrypt(cipher.encrypt(b"hello", 1), 1) == b"hello"
+
+    def test_empty_plaintext(self):
+        cipher = SharedKeyCipher(b"psk")
+        assert cipher.decrypt(cipher.encrypt(b"", 1), 1) == b""
+
+    def test_long_plaintext(self):
+        cipher = SharedKeyCipher(b"psk")
+        message = bytes(range(256)) * 10
+        assert cipher.decrypt(cipher.encrypt(message, 5), 5) == message
+
+
+class TestSecurityProperties:
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = SharedKeyCipher(b"psk")
+        assert cipher.encrypt(b"secret-mapping", 1)[:14] != b"secret-mapping"
+
+    def test_nonce_changes_ciphertext(self):
+        cipher = SharedKeyCipher(b"psk")
+        assert cipher.encrypt(b"m", 1) != cipher.encrypt(b"m", 2)
+
+    def test_wrong_nonce_fails_auth(self):
+        cipher = SharedKeyCipher(b"psk")
+        wire = cipher.encrypt(b"m", 1)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(wire, 2)
+
+    def test_tampering_detected(self):
+        cipher = SharedKeyCipher(b"psk")
+        wire = bytearray(cipher.encrypt(b"mapping", 1))
+        wire[0] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(wire), 1)
+
+    def test_truncated_ciphertext_rejected(self):
+        cipher = SharedKeyCipher(b"psk")
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(b"short", 1)
+
+    def test_different_keys_cannot_decrypt(self):
+        wire = SharedKeyCipher(b"psk-a").encrypt(b"m", 1)
+        with pytest.raises(IntegrityError):
+            SharedKeyCipher(b"psk-b").decrypt(wire, 1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SharedKeyCipher(b"")

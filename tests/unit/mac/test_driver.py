@@ -1,0 +1,82 @@
+"""Tests for the client driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedulers import OrthogonalReshaper
+from repro.mac.addresses import MacAddress
+from repro.mac.config_protocol import VirtualInterfaceNegotiation
+from repro.mac.crypto import SharedKeyCipher
+from repro.mac.driver import ClientDriver
+from repro.mac.frames import Dot11Frame
+from repro.mac.pool import AddressPool
+
+CLIENT = MacAddress.parse("00:11:22:33:44:55")
+AP = MacAddress.parse("00:aa:00:aa:00:aa")
+
+
+@pytest.fixture
+def negotiation(rng):
+    return VirtualInterfaceNegotiation(SharedKeyCipher(b"k"), AddressPool(rng))
+
+
+def configured_driver(negotiation, rng, scheduler=None) -> ClientDriver:
+    driver = ClientDriver(CLIENT, scheduler=scheduler)
+    wire = driver.request_interfaces(negotiation, 3, rng)
+    _, reply_wire = negotiation.handle_request(wire, driver._pending_request.nonce)
+    driver.complete_configuration(negotiation, reply_wire)
+    return driver
+
+
+class TestConfiguration:
+    def test_handshake_configures_vaps(self, negotiation, rng):
+        driver = configured_driver(negotiation, rng)
+        assert driver.is_configured
+        assert driver.interface_count == 3
+
+    def test_complete_without_request_raises(self, negotiation):
+        driver = ClientDriver(CLIENT)
+        with pytest.raises(RuntimeError):
+            driver.complete_configuration(negotiation, b"xx")
+
+
+class TestSend:
+    def test_send_requires_configuration(self):
+        driver = ClientDriver(CLIENT)
+        with pytest.raises(RuntimeError):
+            driver.send(AP, 100, 0.0)
+
+    def test_send_without_scheduler_uses_iface0(self, negotiation, rng):
+        driver = configured_driver(negotiation, rng)
+        frame = driver.send(AP, 100, 0.0)
+        assert frame.src == driver.vaps.addresses[0]
+
+    def test_send_with_or_scheduler_routes_by_size(self, negotiation, rng):
+        driver = configured_driver(
+            negotiation, rng, scheduler=OrthogonalReshaper.paper_default()
+        )
+        small = driver.send(AP, 100, 0.0)
+        large = driver.send(AP, 1540, 0.1)
+        assert small.src == driver.vaps.addresses[0]
+        assert large.src == driver.vaps.addresses[2]
+
+
+class TestReceive:
+    def test_accepts_virtual_destination_and_restores(self, negotiation, rng):
+        driver = configured_driver(negotiation, rng)
+        virtual = driver.vaps.addresses[1]
+        frame = Dot11Frame(src=AP, dst=virtual, payload_size=64)
+        delivered = driver.receive(frame)
+        assert delivered is not None
+        assert delivered.dst == CLIENT  # upper layers see the physical MAC
+        assert driver.delivered_to_upper[-1].dst == CLIENT
+
+    def test_ignores_foreign_frames(self, negotiation, rng):
+        driver = configured_driver(negotiation, rng)
+        foreign = Dot11Frame(src=AP, dst=MacAddress(123456), payload_size=64)
+        assert driver.receive(foreign) is None
+
+    def test_unconfigured_driver_accepts_physical_only(self):
+        driver = ClientDriver(CLIENT)
+        assert driver.receive(Dot11Frame(src=AP, dst=CLIENT, payload_size=1)) is not None
+        assert driver.receive(Dot11Frame(src=AP, dst=AP, payload_size=1)) is None

@@ -1,0 +1,52 @@
+"""Tests for the 802.11 frame model."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import FRAME_HEADER_BYTES, Dot11Frame, FrameType, frame_overhead
+
+SRC = MacAddress.parse("02:00:00:00:00:01")
+DST = MacAddress.parse("02:00:00:00:00:02")
+
+
+class TestOverhead:
+    def test_data_overhead(self):
+        assert frame_overhead(FrameType.DATA) == FRAME_HEADER_BYTES
+
+    def test_control_frames_are_light(self):
+        assert frame_overhead(FrameType.CONTROL) < FRAME_HEADER_BYTES
+
+    def test_mtu_frame_is_1576(self):
+        # 1500-byte MTU payload + LLC/MAC overhead lands in the paper's
+        # observed maximum band.
+        frame = Dot11Frame(src=SRC, dst=DST, payload_size=1540)
+        assert frame.size == 1576
+
+
+class TestDot11Frame:
+    def test_size_includes_header(self):
+        frame = Dot11Frame(src=SRC, dst=DST, payload_size=100)
+        assert frame.size == 100 + FRAME_HEADER_BYTES
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            Dot11Frame(src=SRC, dst=DST, payload_size=-1)
+
+    def test_payload_size_must_cover_payload(self):
+        with pytest.raises(ValueError):
+            Dot11Frame(src=SRC, dst=DST, payload_size=2, payload=b"abcdef")
+
+    def test_with_src_rewrites(self):
+        frame = Dot11Frame(src=SRC, dst=DST, payload_size=10)
+        other = MacAddress.parse("02:00:00:00:00:03")
+        assert frame.with_src(other).src == other
+        assert frame.src == SRC
+
+    def test_with_dst_rewrites(self):
+        frame = Dot11Frame(src=SRC, dst=DST, payload_size=10)
+        other = MacAddress.parse("02:00:00:00:00:04")
+        assert frame.with_dst(other).dst == other
+
+    def test_with_time(self):
+        frame = Dot11Frame(src=SRC, dst=DST, payload_size=10).with_time(4.5)
+        assert frame.time == 4.5

@@ -1,0 +1,74 @@
+"""Tests for the AP's MAC address pool."""
+
+import numpy as np
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.pool import AddressPool, PoolExhaustedError
+
+
+@pytest.fixture
+def pool(rng):
+    return AddressPool(rng)
+
+
+class TestAllocation:
+    def test_allocates_distinct_addresses(self, pool):
+        addresses = pool.allocate("client-a", 5)
+        assert len(set(addresses)) == 5
+        assert pool.allocated_count == 5
+
+    def test_tracks_owner(self, pool):
+        [address] = pool.allocate("client-a", 1)
+        assert pool.owner_of(address) == "client-a"
+        assert pool.is_allocated(address)
+
+    def test_rejects_zero_count(self, pool):
+        with pytest.raises(ValueError):
+            pool.allocate("client-a", 0)
+
+    def test_never_hands_out_reserved(self, rng):
+        reserved = MacAddress.parse("02:00:00:00:00:01")
+        pool = AddressPool(rng, reserved={reserved})
+        addresses = pool.allocate("x", 200)
+        assert reserved not in addresses
+
+    def test_reserve_after_construction(self, pool, rng):
+        extra = MacAddress.parse("02:00:00:00:00:02")
+        pool.reserve(extra)
+        assert extra not in pool.allocate("x", 100)
+
+
+class TestRelease:
+    def test_release_single(self, pool):
+        [address] = pool.allocate("a", 1)
+        pool.release(address)
+        assert not pool.is_allocated(address)
+
+    def test_release_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.release(MacAddress(42))
+
+    def test_release_owner_recycles_all(self, pool):
+        pool.allocate("a", 3)
+        pool.allocate("b", 2)
+        freed = pool.release_owner("a")
+        assert freed == 3
+        assert pool.allocated_count == 2
+        assert pool.addresses_of("a") == []
+
+    def test_addresses_of(self, pool):
+        allocated = pool.allocate("a", 4)
+        assert sorted(pool.addresses_of("a")) == sorted(allocated)
+
+
+class TestExhaustion:
+    def test_raises_after_max_attempts(self):
+        class FixedRng:
+            def integers(self, low, high=None):
+                return 7  # always the same draw
+
+        pool = AddressPool(FixedRng(), max_draw_attempts=4)
+        pool.allocate("a", 1)  # takes the single possible value
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate("b", 1)

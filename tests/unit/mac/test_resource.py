@@ -1,0 +1,109 @@
+"""Tests for the AP resource manager."""
+
+import numpy as np
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.pool import AddressPool
+from repro.mac.resource import ResourceManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(rng, clock):
+    return ResourceManager(
+        AddressPool(rng),
+        budget=10,
+        max_per_client=4,
+        min_per_client=2,
+        idle_timeout=100.0,
+        clock=clock,
+    )
+
+
+def _mac(index: int) -> MacAddress:
+    return MacAddress(0x001100000000 + index)
+
+
+class TestAdmission:
+    def test_grant_respects_request_and_cap(self, manager):
+        grant = manager.admit(_mac(1), requested=3)
+        assert grant is not None and grant.interfaces == 3
+        grant = manager.admit(_mac(2), requested=99)
+        assert grant.interfaces == 4  # per-client cap
+
+    def test_budget_enforced(self, manager):
+        manager.admit(_mac(1), requested=4)
+        manager.admit(_mac(2), requested=4)
+        # 8 of 10 used; next client squeezed to the remaining 2.
+        grant = manager.admit(_mac(3), requested=4)
+        assert grant.interfaces == 2
+        # Budget exhausted: refusal.
+        assert manager.admit(_mac(4), requested=2) is None
+        assert manager.headroom == 0
+
+    def test_duplicate_admission_rejected(self, manager):
+        manager.admit(_mac(1), requested=2)
+        with pytest.raises(ValueError):
+            manager.admit(_mac(1), requested=2)
+
+    def test_bad_request_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.decide_grant(0)
+
+
+class TestLifecycle:
+    def test_release_returns_addresses(self, manager):
+        manager.admit(_mac(1), requested=3)
+        assert manager.release(_mac(1)) == 3
+        assert manager.allocated == 0
+
+    def test_release_unknown_is_zero(self, manager):
+        assert manager.release(_mac(9)) == 0
+
+    def test_idle_reclamation(self, manager, clock):
+        manager.admit(_mac(1), requested=2)
+        manager.admit(_mac(2), requested=2)
+        clock.advance(50.0)
+        manager.touch(_mac(2))
+        clock.advance(80.0)  # client 1 idle for 130 s, client 2 for 80 s
+        expired = manager.reclaim_idle()
+        assert expired == [_mac(1)]
+        assert manager.grant_of(_mac(1)) is None
+        assert manager.grant_of(_mac(2)) is not None
+
+
+class TestRebalance:
+    def test_tops_up_underserved_clients(self, manager):
+        # Client 1 wanted 4 but the AP was busy; after client 2 leaves,
+        # rebalance tops client 1 back up.
+        grant = manager.admit(_mac(1), requested=4)
+        assert grant.interfaces == 4
+        manager.admit(_mac(2), requested=4)
+        manager.admit(_mac(3), requested=4)  # squeezed to 2
+        assert manager.grant_of(_mac(3)).interfaces == 2
+        manager.release(_mac(2))
+        additions = manager.rebalance()
+        assert additions.get(_mac(3)) == 2
+        assert manager.grant_of(_mac(3)).interfaces == 4
+
+    def test_rebalance_without_headroom_is_noop(self, manager):
+        manager.admit(_mac(1), requested=4)
+        manager.admit(_mac(2), requested=4)
+        manager.admit(_mac(3), requested=4)
+        assert manager.rebalance() == {}

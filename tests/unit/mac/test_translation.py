@@ -1,0 +1,85 @@
+"""Tests for MAC address translation (Fig. 3)."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Dot11Frame
+from repro.mac.translation import TranslationTable
+
+PHYSICAL = MacAddress.parse("00:11:22:33:44:55")
+AP = MacAddress.parse("00:aa:00:aa:00:aa")
+V1 = MacAddress.parse("02:00:00:00:00:01")
+V2 = MacAddress.parse("02:00:00:00:00:02")
+
+
+@pytest.fixture
+def table():
+    t = TranslationTable()
+    t.register(PHYSICAL, [V1, V2])
+    return t
+
+
+class TestBindings:
+    def test_lookup_both_ways(self, table):
+        assert table.physical_of(V1) == PHYSICAL
+        assert table.virtuals_of(PHYSICAL) == [V1, V2]
+
+    def test_is_virtual(self, table):
+        assert table.is_virtual(V1)
+        assert not table.is_virtual(PHYSICAL)
+
+    def test_has_client(self, table):
+        assert table.has_client(PHYSICAL)
+        assert not table.has_client(AP)
+
+    def test_rebinding_to_other_client_rejected(self, table):
+        other = MacAddress.parse("00:99:99:99:99:99")
+        with pytest.raises(ValueError, match="already bound"):
+            table.register(other, [V1])
+
+    def test_rebinding_same_client_is_idempotent(self, table):
+        table.register(PHYSICAL, [V1])
+        assert table.virtuals_of(PHYSICAL) == [V1, V2]
+
+    def test_unregister_frees_everything(self, table):
+        freed = table.unregister(PHYSICAL)
+        assert set(freed) == {V1, V2}
+        assert table.physical_of(V1) is None
+        assert not table.has_client(PHYSICAL)
+
+
+class TestFrameTranslation:
+    def test_uplink_rewrites_virtual_source(self, table):
+        frame = Dot11Frame(src=V2, dst=AP, payload_size=10)
+        assert table.translate_uplink(frame).src == PHYSICAL
+
+    def test_uplink_passthrough_for_unknown(self, table):
+        frame = Dot11Frame(src=AP, dst=PHYSICAL, payload_size=10)
+        assert table.translate_uplink(frame).src == AP
+
+    def test_downlink_picks_interface(self, table):
+        frame = Dot11Frame(src=AP, dst=PHYSICAL, payload_size=10)
+        assert table.translate_downlink(frame, 1).dst == V2
+
+    def test_downlink_out_of_range_interface(self, table):
+        frame = Dot11Frame(src=AP, dst=PHYSICAL, payload_size=10)
+        with pytest.raises(IndexError):
+            table.translate_downlink(frame, 5)
+
+    def test_downlink_passthrough_for_unknown(self, table):
+        other = MacAddress.parse("00:99:99:99:99:99")
+        frame = Dot11Frame(src=AP, dst=other, payload_size=10)
+        assert table.translate_downlink(frame, 0).dst == other
+
+    def test_restore_at_client(self, table):
+        frame = Dot11Frame(src=AP, dst=V1, payload_size=10)
+        assert table.restore_at_client(frame).dst == PHYSICAL
+
+    def test_uplink_then_restore_roundtrip(self, table):
+        # Client -> AP -> (DS) -> AP -> client keeps upper layers ignorant.
+        uplink = Dot11Frame(src=V1, dst=AP, payload_size=10)
+        at_ds = table.translate_uplink(uplink)
+        downlink = Dot11Frame(src=AP, dst=at_ds.src, payload_size=10)
+        on_air = table.translate_downlink(downlink, 0)
+        delivered = table.restore_at_client(on_air)
+        assert delivered.dst == PHYSICAL

@@ -1,0 +1,77 @@
+"""Tests for the VAP set."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Dot11Frame
+from repro.mac.virtual_iface import VirtualInterfaceSet
+
+PHYSICAL = MacAddress.parse("00:11:22:33:44:55")
+AP = MacAddress.parse("00:aa:00:aa:00:aa")
+ADDRESSES = [MacAddress(0x020000000001 + i) for i in range(3)]
+
+
+@pytest.fixture
+def vaps():
+    return VirtualInterfaceSet.configure(PHYSICAL, ADDRESSES, channel=6)
+
+
+class TestConfiguration:
+    def test_interface_count(self, vaps):
+        assert len(vaps) == 3
+
+    def test_addresses_in_order(self, vaps):
+        assert vaps.addresses == ADDRESSES
+
+    def test_requires_addresses(self):
+        with pytest.raises(ValueError):
+            VirtualInterfaceSet.configure(PHYSICAL, [])
+
+    def test_same_channel_for_all(self, vaps):
+        # Sec. III-A: virtual interfaces "work in the same channel".
+        assert all(iface.channel == 6 for iface in vaps.interfaces)
+
+
+class TestActivation:
+    def test_single_active_adapter(self, vaps):
+        vaps.activate(2)
+        assert vaps.active.index == 2
+
+    def test_activate_out_of_range(self, vaps):
+        with pytest.raises(IndexError):
+            vaps.activate(3)
+
+
+class TestTransmit:
+    def test_encapsulate_stamps_vap_address(self, vaps):
+        frame = vaps.encapsulate(1, AP, payload_size=100, time=2.0)
+        assert frame.src == ADDRESSES[1]
+        assert frame.dst == AP
+        assert frame.channel == 6
+
+    def test_encapsulate_activates_and_counts(self, vaps):
+        vaps.encapsulate(2, AP, payload_size=100, time=0.0)
+        assert vaps.active.index == 2
+        assert vaps.interfaces[2].tx_frames == 1
+        assert vaps.interfaces[2].tx_bytes > 100
+
+
+class TestReceive:
+    def test_accepts_any_vap_address(self, vaps):
+        frame = Dot11Frame(src=AP, dst=ADDRESSES[2], payload_size=50)
+        iface = vaps.accept(frame)
+        assert iface is not None and iface.index == 2
+        assert iface.rx_frames == 1
+
+    def test_accepts_physical_address(self, vaps):
+        frame = Dot11Frame(src=AP, dst=PHYSICAL, payload_size=50)
+        assert vaps.accept(frame) is not None
+
+    def test_ignores_other_destinations(self, vaps):
+        other = MacAddress.parse("00:99:99:99:99:99")
+        frame = Dot11Frame(src=AP, dst=other, payload_size=50)
+        assert vaps.accept(frame) is None
+
+    def test_owns(self, vaps):
+        assert vaps.owns(ADDRESSES[0])
+        assert not vaps.owns(AP)

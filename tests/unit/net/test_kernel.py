@@ -1,0 +1,100 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.net.kernel import EventKernel
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        kernel = EventKernel()
+        log = []
+        kernel.schedule(2.0, lambda: log.append("b"))
+        kernel.schedule(1.0, lambda: log.append("a"))
+        kernel.schedule(3.0, lambda: log.append("c"))
+        kernel.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        kernel = EventKernel()
+        log = []
+        for name in "xyz":
+            kernel.schedule(1.0, lambda n=name: log.append(n))
+        kernel.run()
+        assert log == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule(0.5, lambda: None)
+
+    def test_schedule_in(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: kernel.schedule_in(0.5, lambda: fired.append(kernel.now)))
+        kernel.run()
+        assert fired == [1.5]
+
+    def test_schedule_in_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EventKernel().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until(self):
+        kernel = EventKernel()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, lambda t=t: log.append(t))
+        executed = kernel.run(until=2.0)
+        assert executed == 2
+        assert kernel.pending == 1
+        assert kernel.now == 2.0
+
+    def test_run_until_advances_clock_when_idle(self):
+        kernel = EventKernel()
+        kernel.run(until=7.0)
+        assert kernel.now == 7.0
+
+    def test_max_events(self):
+        kernel = EventKernel()
+        for t in range(5):
+            kernel.schedule(float(t), lambda: None)
+        assert kernel.run(max_events=3) == 3
+
+    def test_cancelled_events_skipped(self):
+        kernel = EventKernel()
+        log = []
+        event = kernel.schedule(1.0, lambda: log.append("cancelled"))
+        kernel.schedule(2.0, lambda: log.append("kept"))
+        event.cancel()
+        kernel.run()
+        assert log == ["kept"]
+
+    def test_processed_counter(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        assert kernel.processed == 1
+
+    def test_events_may_schedule_more_events(self):
+        kernel = EventKernel()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                kernel.schedule_in(1.0, lambda: chain(n + 1))
+
+        kernel.schedule(0.0, lambda: chain(0))
+        kernel.run()
+        assert log == [0, 1, 2, 3]

@@ -1,0 +1,69 @@
+"""Tests for the seven application models."""
+
+import pytest
+
+from repro.traffic.apps import ALL_APPS, APP_MODELS, AppType, app_model
+from repro.traffic.packet import DOWNLINK, UPLINK
+
+
+class TestAppType:
+    def test_seven_apps(self):
+        assert len(ALL_APPS) == 7
+
+    def test_short_names_match_paper(self):
+        assert AppType.BROWSING.short == "br."
+        assert AppType.BITTORRENT.short == "bt."
+        assert AppType.VIDEO.short == "vo."
+
+    def test_lookup_by_string(self):
+        assert app_model("chatting").app is AppType.CHATTING
+
+    def test_lookup_by_enum(self):
+        assert app_model(AppType.GAMING).app is AppType.GAMING
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError):
+            app_model("netflix")
+
+
+class TestModelStructure:
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_both_directions_defined(self, app):
+        model = APP_MODELS[app]
+        assert model.direction(DOWNLINK) is model.downlink
+        assert model.direction(UPLINK) is model.uplink
+
+    @pytest.mark.parametrize("app", ALL_APPS)
+    def test_mean_sizes_in_valid_range(self, app):
+        model = APP_MODELS[app]
+        for direction_model in (model.downlink, model.uplink):
+            assert 60 <= direction_model.mean_size <= 1576
+
+    def test_uploading_is_uplink_dominant(self):
+        # Sec. IV-C: uploading is the only app with low downlink but high
+        # uplink traffic — the asymmetry that survives reshaping.
+        model = APP_MODELS[AppType.UPLOADING]
+        down_rate = 1.0 / model.downlink.mean_interarrival * model.downlink.mean_size
+        up_rate = 1.0 / model.uplink.mean_interarrival * model.uplink.mean_size
+        assert up_rate > 10 * down_rate
+
+    def test_all_other_apps_downlink_dominant(self):
+        for app in ALL_APPS:
+            if app is AppType.UPLOADING:
+                continue
+            model = APP_MODELS[app]
+            down = model.downlink.mean_size / model.downlink.mean_interarrival
+            up = model.uplink.mean_size / model.uplink.mean_interarrival
+            assert down >= up, f"{app} should be downlink-dominant"
+
+    def test_downloading_is_pure_mtu(self):
+        mixture = APP_MODELS[AppType.DOWNLOADING].downlink.sizes
+        assert len(mixture.components) == 1
+        assert mixture.components[0].low >= 1546
+
+    def test_chatting_is_small_dominated(self):
+        mixture = APP_MODELS[AppType.CHATTING].downlink.sizes
+        small_weight = sum(
+            w for w, c in zip(mixture.weights, mixture.components) if c.high <= 232
+        )
+        assert small_weight > 0.7

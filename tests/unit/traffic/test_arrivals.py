@@ -1,0 +1,88 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.arrivals import (
+    BurstyArrivals,
+    ConstantRateArrivals,
+    PoissonArrivals,
+)
+
+
+@pytest.mark.parametrize(
+    "process",
+    [
+        ConstantRateArrivals(interval=0.01),
+        PoissonArrivals(interval=0.01),
+        BurstyArrivals(burst_interval=1.0, burst_size=20.0, within_gap=0.005),
+    ],
+    ids=["cbr", "poisson", "bursty"],
+)
+class TestCommonBehaviour:
+    def test_sorted_and_bounded(self, process, rng):
+        times = process.sample(rng, 30.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0
+        assert times.max() < 30.0
+
+    def test_expected_count_roughly_matches(self, process, rng):
+        times = process.sample(rng, 60.0)
+        expected = process.expected_count(60.0)
+        assert expected * 0.5 < len(times) < expected * 1.8
+
+    def test_scaled_changes_rate(self, process, rng):
+        slower = process.scaled(2.0)
+        assert slower.mean_interarrival == pytest.approx(
+            2.0 * process.mean_interarrival
+        )
+
+    def test_scaled_rejects_non_positive(self, process, rng):
+        with pytest.raises(ValueError):
+            process.scaled(0.0)
+
+    def test_duration_must_be_positive(self, process, rng):
+        with pytest.raises(ValueError):
+            process.sample(rng, 0.0)
+
+
+class TestConstantRate:
+    def test_low_jitter_is_regular(self, rng):
+        times = ConstantRateArrivals(interval=0.1, jitter_shape=400.0).sample(rng, 30.0)
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() < 0.1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ConstantRateArrivals(interval=-1.0)
+        with pytest.raises(ValueError):
+            ConstantRateArrivals(interval=1.0, jitter_shape=0.0)
+
+
+class TestPoisson:
+    def test_gap_cv_near_one(self, rng):
+        times = PoissonArrivals(interval=0.05).sample(rng, 120.0)
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.15)
+
+
+class TestBursty:
+    def test_mean_interarrival_formula(self):
+        process = BurstyArrivals(burst_interval=2.0, burst_size=40.0, within_gap=0.01)
+        assert process.mean_interarrival == pytest.approx(0.05)
+
+    def test_has_burst_structure(self, rng):
+        process = BurstyArrivals(burst_interval=5.0, burst_size=50.0, within_gap=0.002)
+        times = process.sample(rng, 120.0)
+        gaps = np.diff(times)
+        # Bimodal gaps: many tiny within-burst gaps, a few large ones.
+        assert (gaps < 0.05).mean() > 0.8
+        assert gaps.max() > 1.0
+
+    def test_empty_when_no_burst_fits(self, rng):
+        process = BurstyArrivals(burst_interval=1e9, burst_size=5.0, within_gap=0.01)
+        assert len(process.sample(rng, 1.0)) == 0
+
+    def test_rejects_bad_burst_size(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_interval=1.0, burst_size=0.5, within_gap=0.01)

@@ -1,0 +1,65 @@
+"""Calibration tests: generated traffic must match Table I's published stats.
+
+These tests pin the substitution documented in DESIGN.md: since the
+paper's real traces are unavailable, the synthetic models must land near
+the per-application mean packet size and mean interarrival the paper
+reports (Table I, "Original" column, AP -> user direction).
+"""
+
+import pytest
+
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.stats import summarize_trace
+
+#: (mean downlink size in bytes, mean downlink interarrival in seconds)
+TABLE1_ORIGINAL = {
+    AppType.BROWSING: (1013.2, 0.0284),
+    AppType.CHATTING: (269.1, 0.9901),
+    AppType.GAMING: (459.5, 0.3084),
+    AppType.DOWNLOADING: (1575.3, 0.0023),
+    AppType.UPLOADING: (132.8, 0.0301),
+    AppType.VIDEO: (1547.6, 0.0119),
+    AppType.BITTORRENT: (962.04, 0.0247),
+}
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    generator = TrafficGenerator(seed=7, rate_sigma=0.0, size_jitter=0.0, drift_sigma=0.0)
+    return {
+        app: summarize_trace(generator.generate(app, duration=240.0))
+        for app in AppType
+    }
+
+
+@pytest.mark.parametrize("app", list(AppType))
+def test_mean_size_matches_table1(summaries, app):
+    measured = summaries[app].mean_size
+    target = TABLE1_ORIGINAL[app][0]
+    assert measured == pytest.approx(target, rel=0.06), (
+        f"{app.value}: measured {measured:.1f} B vs Table I {target} B"
+    )
+
+
+@pytest.mark.parametrize("app", list(AppType))
+def test_mean_interarrival_matches_table1(summaries, app):
+    measured = summaries[app].mean_interarrival
+    target = TABLE1_ORIGINAL[app][1]
+    # Timing is inherently noisier than sizes; video's chunked model
+    # trades interarrival fidelity for the paper's burst structure
+    # (documented in EXPERIMENTS.md), so it gets a wider band.
+    tolerance = 0.55 if app is AppType.VIDEO else 0.25
+    assert measured == pytest.approx(target, rel=tolerance), (
+        f"{app.value}: measured {measured:.4f} s vs Table I {target} s"
+    )
+
+
+def test_size_modes_match_figure1(summaries):
+    """Sec. III-C-3: main packet sizes concentrate in [108, 232] and [1546, 1576]."""
+    generator = TrafficGenerator(seed=8, rate_sigma=0.0, size_jitter=0.0, drift_sigma=0.0)
+    trace = generator.generate(AppType.BITTORRENT, duration=120.0)
+    sizes = trace.direction_view(0).sizes if hasattr(trace, "direction_view") else trace.sizes
+    small = ((sizes >= 108) & (sizes <= 232)).mean()
+    full = ((sizes >= 1546) & (sizes <= 1576)).mean()
+    assert small + full > 0.7, "BT mass should concentrate in the two modes"

@@ -1,0 +1,85 @@
+"""Tests for the traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.apps import AppType
+from repro.traffic.generator import TrafficGenerator, generate_app_trace
+from repro.traffic.packet import DOWNLINK, UPLINK
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = TrafficGenerator(seed=5).generate(AppType.CHATTING, 30.0)
+        b = TrafficGenerator(seed=5).generate(AppType.CHATTING, 30.0)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_different_sessions_differ(self):
+        gen = TrafficGenerator(seed=5)
+        a = gen.generate(AppType.CHATTING, 30.0, session=0)
+        b = gen.generate(AppType.CHATTING, 30.0, session=1)
+        assert not np.array_equal(a.times, b.times)
+
+    def test_different_seeds_differ(self):
+        a = TrafficGenerator(seed=5).generate(AppType.VIDEO, 10.0)
+        b = TrafficGenerator(seed=6).generate(AppType.VIDEO, 10.0)
+        assert not np.array_equal(a.times, b.times)
+
+
+class TestTraceShape:
+    def test_label_and_meta(self):
+        trace = TrafficGenerator(seed=1).generate("gaming", 20.0, session=3)
+        assert trace.label == "gaming"
+        assert trace.meta["session"] == 3
+
+    def test_both_directions_present(self):
+        trace = TrafficGenerator(seed=1).generate(AppType.BITTORRENT, 30.0)
+        assert len(trace.direction_view(DOWNLINK)) > 0
+        assert len(trace.direction_view(UPLINK)) > 0
+
+    def test_times_sorted_and_bounded(self):
+        trace = TrafficGenerator(seed=1).generate(AppType.DOWNLOADING, 10.0)
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[-1] < 10.0
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(seed=1).generate(AppType.VIDEO, 0.0)
+
+    def test_channel_stamped(self):
+        trace = TrafficGenerator(seed=1).generate(AppType.VIDEO, 5.0, channel=6)
+        assert set(trace.channels.tolist()) == {6}
+
+
+class TestVariability:
+    def test_session_rates_vary(self):
+        gen = TrafficGenerator(seed=2)
+        counts = [
+            len(gen.generate(AppType.VIDEO, 30.0, session=s)) for s in range(6)
+        ]
+        assert max(counts) > 1.3 * min(counts)
+
+    def test_plain_generator_is_calibrated(self, plain_generator):
+        counts = [
+            len(plain_generator.generate(AppType.DOWNLOADING, 30.0, session=s))
+            for s in range(3)
+        ]
+        # Without session variability the CBR flow's counts stay close.
+        assert max(counts) < 1.2 * min(counts)
+
+    def test_drift_preserves_packet_order(self):
+        gen = TrafficGenerator(seed=2, drift_sigma=0.8)
+        trace = gen.generate(AppType.DOWNLOADING, 20.0)
+        assert np.all(np.diff(trace.times) >= 0)
+
+
+class TestCorpus:
+    def test_generate_corpus_structure(self):
+        corpus = TrafficGenerator(seed=1).generate_corpus(10.0, sessions=2)
+        assert set(corpus) == set(AppType)
+        assert all(len(traces) == 2 for traces in corpus.values())
+
+    def test_convenience_wrapper(self):
+        trace = generate_app_trace("chatting", 10.0, seed=4)
+        assert trace.label == "chatting"

@@ -1,0 +1,48 @@
+"""Tests for CSV trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.io import trace_from_csv, trace_to_csv
+from repro.traffic.trace import Trace
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, simple_trace, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        trace_to_csv(simple_trace, path)
+        loaded = trace_from_csv(path, label="test")
+        assert len(loaded) == len(simple_trace)
+        assert np.allclose(loaded.times, simple_trace.times)
+        assert np.array_equal(loaded.sizes, simple_trace.sizes)
+        assert np.array_equal(loaded.directions, simple_trace.directions)
+        assert loaded.label == "test"
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        trace_to_csv(Trace.empty(), path)
+        assert len(trace_from_csv(path)) == 0
+
+
+class TestExternalCsv:
+    def test_minimal_columns(self, tmp_path):
+        path = tmp_path / "minimal.csv"
+        path.write_text("time,size\n1.5,100\n0.5,200\n")
+        loaded = trace_from_csv(str(path))
+        # Rows re-sorted; defaults applied.
+        assert list(loaded.times) == [0.5, 1.5]
+        assert list(loaded.directions) == [0, 0]
+        assert list(loaded.channels) == [1, 1]
+
+    def test_missing_required_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,bytes\n1.0,100\n")
+        with pytest.raises(ValueError, match="size"):
+            trace_from_csv(str(path))
+
+    def test_blank_optional_cells(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text("time,size,direction,iface,channel\n1.0,100,,,\n")
+        loaded = trace_from_csv(str(path))
+        assert loaded.ifaces[0] == 0
+        assert loaded.channels[0] == 1

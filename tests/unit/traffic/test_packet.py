@@ -1,0 +1,56 @@
+"""Tests for packet primitives."""
+
+import pytest
+
+from repro.traffic.packet import DOWNLINK, UPLINK, Direction, Packet
+
+
+class TestDirection:
+    def test_values(self):
+        assert int(DOWNLINK) == 0
+        assert int(UPLINK) == 1
+
+    def test_opposite(self):
+        assert DOWNLINK.opposite is UPLINK
+        assert UPLINK.opposite is DOWNLINK
+
+
+class TestPacket:
+    def test_defaults(self):
+        packet = Packet(time=1.0, size=100)
+        assert packet.direction is DOWNLINK
+        assert packet.iface == 0
+        assert packet.channel == 1
+        assert packet.rssi is None
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="size"):
+            Packet(time=0.0, size=0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            Packet(time=-0.1, size=10)
+
+    def test_with_size_returns_copy(self):
+        packet = Packet(time=1.0, size=100)
+        bigger = packet.with_size(1576)
+        assert bigger.size == 1576
+        assert packet.size == 100
+
+    def test_with_iface(self):
+        packet = Packet(time=1.0, size=100).with_iface(2)
+        assert packet.iface == 2
+
+    def test_with_time(self):
+        packet = Packet(time=1.0, size=100).with_time(9.0)
+        assert packet.time == 9.0
+
+    def test_frozen(self):
+        packet = Packet(time=1.0, size=100)
+        with pytest.raises(AttributeError):
+            packet.size = 5  # type: ignore[misc]
+
+    def test_equality_ignores_meta(self):
+        a = Packet(time=1.0, size=100, meta={"x": 1})
+        b = Packet(time=1.0, size=100, meta={"y": 2})
+        assert a == b

@@ -1,0 +1,91 @@
+"""Tests for packet-size mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.sizes import MAX_PACKET_SIZE, SizeComponent, SizeMixture
+
+
+class TestSizeComponent:
+    def test_sampling_respects_bounds(self, rng):
+        component = SizeComponent(mean=160, std=60, low=108, high=232)
+        sizes = component.sample(rng, 5000)
+        assert sizes.min() >= 108
+        assert sizes.max() <= 232
+
+    def test_zero_std_is_deterministic(self, rng):
+        component = SizeComponent(mean=1500, std=0)
+        assert set(component.sample(rng, 10).tolist()) == {1500}
+
+    def test_zero_count(self, rng):
+        assert len(SizeComponent(mean=100, std=5).sample(rng, 0)) == 0
+
+    def test_rejects_mean_outside_bounds(self):
+        with pytest.raises(ValueError):
+            SizeComponent(mean=50, std=5, low=100, high=200)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            SizeComponent(mean=150, std=5, low=200, high=100)
+
+    def test_truncated_mean_within_bounds(self):
+        component = SizeComponent(mean=160, std=30, low=108, high=232)
+        assert 108 <= component.truncated_mean <= 232
+
+
+class TestSizeMixture:
+    def _mixture(self) -> SizeMixture:
+        return SizeMixture(
+            components=(
+                SizeComponent(160, 30, 108, 232),
+                SizeComponent(1570, 4, 1546, 1576),
+            ),
+            weights=(0.6, 0.4),
+        )
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SizeMixture((SizeComponent(100, 5),), (0.5,))
+
+    def test_weights_match_components(self):
+        with pytest.raises(ValueError):
+            SizeMixture((SizeComponent(100, 5),), (0.5, 0.5))
+
+    def test_mean_matches_weighted_components(self):
+        mixture = self._mixture()
+        assert mixture.mean == pytest.approx(0.6 * 160 + 0.4 * 1570)
+
+    def test_sample_mean_near_analytic(self, rng):
+        mixture = self._mixture()
+        sizes = mixture.sample(rng, 30000)
+        assert sizes.mean() == pytest.approx(mixture.mean, rel=0.02)
+
+    def test_sample_within_global_bounds(self, rng):
+        sizes = self._mixture().sample(rng, 5000)
+        assert sizes.min() >= 1
+        assert sizes.max() <= MAX_PACKET_SIZE
+
+    def test_jittered_weights_still_valid(self, rng):
+        jittered = self._mixture().jittered(rng, concentration=50.0)
+        assert sum(jittered.weights) == pytest.approx(1.0)
+        assert all(w >= 0 for w in jittered.weights)
+
+    def test_jittered_moves_mean_but_not_far(self, rng):
+        mixture = self._mixture()
+        means = [mixture.jittered(rng, 80.0).mean for _ in range(50)]
+        assert np.std(means) > 0
+        assert abs(np.mean(means) - mixture.mean) < 100
+
+    def test_scaled_to_mean(self):
+        mixture = self._mixture()
+        retargeted = mixture.scaled_to_mean(1000.0)
+        assert retargeted.mean == pytest.approx(1000.0)
+
+    def test_scaled_to_unreachable_mean_raises(self):
+        with pytest.raises(ValueError):
+            self._mixture().scaled_to_mean(20.0)
+
+    def test_single_component_cannot_retarget(self):
+        mixture = SizeMixture((SizeComponent(100, 5),), (1.0,))
+        with pytest.raises(ValueError):
+            mixture.scaled_to_mean(150.0)

@@ -1,0 +1,77 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.packet import DOWNLINK, UPLINK
+from repro.traffic.stats import (
+    empirical_cdf,
+    interarrival_times,
+    mean_interarrival,
+    size_histogram,
+    summarize_trace,
+)
+from repro.traffic.trace import Trace
+
+
+class TestInterarrival:
+    def test_basic_gaps(self):
+        gaps = interarrival_times(np.array([0.0, 1.0, 3.0]), idle_cutoff=None)
+        assert list(gaps) == [1.0, 2.0]
+
+    def test_idle_filtering(self):
+        # Sec. IV-B: gaps beyond 5 s are excluded.
+        gaps = interarrival_times(np.array([0.0, 1.0, 10.0]), idle_cutoff=5.0)
+        assert list(gaps) == [1.0]
+
+    def test_under_two_points(self):
+        assert len(interarrival_times(np.array([1.0]))) == 0
+
+    def test_mean_interarrival_nan_for_sparse(self):
+        trace = Trace.from_arrays([0.0], [10])
+        assert np.isnan(mean_interarrival(trace))
+
+    def test_mean_interarrival_filters_idle(self):
+        trace = Trace.from_arrays([0.0, 1.0, 20.0], [1, 1, 1])
+        assert mean_interarrival(trace, idle_cutoff=5.0) == pytest.approx(1.0)
+
+
+class TestHistogramAndCdf:
+    def test_histogram_counts_total(self, simple_trace):
+        _, counts = size_histogram(simple_trace, bin_width=100)
+        assert counts.sum() == len(simple_trace)
+
+    def test_histogram_rejects_bad_width(self, simple_trace):
+        with pytest.raises(ValueError):
+            size_histogram(simple_trace, bin_width=0)
+
+    def test_cdf_monotone_and_bounded(self, simple_trace):
+        grid, cdf = empirical_cdf(simple_trace.sizes)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_of_empty(self):
+        grid, cdf = empirical_cdf(np.array([]))
+        assert np.all(cdf == 0)
+
+
+class TestSummarize:
+    def test_direction_selection(self, simple_trace):
+        down = summarize_trace(simple_trace, DOWNLINK)
+        up = summarize_trace(simple_trace, UPLINK)
+        assert down.packet_count == 4
+        assert up.packet_count == 4
+        assert down.mean_size == pytest.approx((100 + 1500 + 300 + 1300) / 4)
+
+    def test_both_directions(self, simple_trace):
+        combined = summarize_trace(simple_trace, direction=None)
+        assert combined.packet_count == 8
+
+    def test_empty_summary_is_nan(self):
+        summary = summarize_trace(Trace.empty())
+        assert summary.packet_count == 0
+        assert np.isnan(summary.mean_size)
+
+    def test_as_row(self, simple_trace):
+        row = summarize_trace(simple_trace).as_row()
+        assert row[0] == 4

@@ -1,0 +1,40 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_fixed_digits(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_none_renders_dash(self):
+        assert format_float(None) == "-"
+
+    def test_nan_renders_dash(self):
+        assert format_float(float("nan")) == "-"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["a", 1.0], ["long-name", 22.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in lines if "-+-" not in line)
+
+    def test_title_prepended(self):
+        table = format_table(["a"], [["x"]], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[1.23456]], float_digits=3)
+        assert "1.235" in table
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row length"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
