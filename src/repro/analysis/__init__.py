@@ -11,6 +11,12 @@ observable flows a defense produces.
 
 from repro.analysis.aggregation import AggregationAttack, AggregationOutcome
 from repro.analysis.attack import AttackPipeline, AttackReport, DefenseEvaluation
+from repro.analysis.batch import (
+    WindowCache,
+    augment_direction_dropout,
+    flow_feature_matrix,
+    flows_feature_matrix,
+)
 from repro.analysis.privacy import (
     attribution_entropy_bits,
     effective_anonymity_set,
@@ -39,7 +45,7 @@ from repro.analysis.metrics import (
     mean_accuracy,
 )
 from repro.analysis.scaler import StandardScaler
-from repro.analysis.windows import sliding_windows, window_traces
+from repro.analysis.windows import sliding_windows, window_edges, window_key, window_traces
 
 __all__ = [
     "AggregationAttack",
@@ -57,18 +63,24 @@ __all__ = [
     "MlpClassifier",
     "RssiLinker",
     "StandardScaler",
+    "WindowCache",
     "WindowFeatures",
     "accuracy_by_class",
     "attribution_entropy_bits",
+    "augment_direction_dropout",
     "best_classifier",
     "effective_anonymity_set",
     "wlan_privacy_entropy_bits",
     "extract_features",
     "false_positive_rates",
     "features_from_windows",
+    "flow_feature_matrix",
+    "flows_feature_matrix",
     "linking_accuracy",
     "mean_accuracy",
     "sliding_windows",
     "train_test_split",
+    "window_edges",
+    "window_key",
     "window_traces",
 ]

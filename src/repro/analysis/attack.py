@@ -11,13 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.analysis.batch import (
+    WindowCache,
+    augment_direction_dropout,
+    flow_feature_matrix,
+)
 from repro.analysis.classifiers import Classifier, best_classifier, default_attackers
 from repro.analysis.dataset import Dataset
-from repro.analysis.features import (
-    direction_dropout_variants,
-    extract_features,
-    features_from_windows,
-)
+from repro.analysis.features import extract_features
 from repro.analysis.metrics import (
     ConfusionMatrix,
     accuracy_by_class,
@@ -25,7 +28,6 @@ from repro.analysis.metrics import (
     mean_accuracy,
 )
 from repro.analysis.scaler import StandardScaler
-from repro.analysis.windows import sliding_windows
 from repro.defenses.base import DefendedTraffic
 from repro.traffic.trace import Trace
 
@@ -122,21 +124,32 @@ class AttackPipeline:
     # -- training ----------------------------------------------------------
 
     def train(self, traces_by_app: dict[str, list[Trace]]) -> "AttackPipeline":
-        """Profile applications from undefended training traces."""
-        features = []
+        """Profile applications from undefended training traces.
+
+        Featurization runs through the vectorized batch engine
+        (:func:`repro.analysis.batch.flow_feature_matrix`): one feature
+        matrix per trace, augmented in bulk, with row order matching the
+        legacy per-window path (windows first, then each window's
+        one-sided variants).
+        """
+        blocks: list[np.ndarray] = []
+        labels: list[str] = []
         for label, traces in traces_by_app.items():
             for trace in traces:
-                windows = sliding_windows(trace, self.window, self.min_packets)
-                extracted = features_from_windows(windows, self.window, label)
-                features.extend(extracted)
+                matrix = flow_feature_matrix(trace, self.window, self.min_packets)
+                if len(matrix) == 0:
+                    continue
+                rows = len(matrix)
+                blocks.append(matrix)
                 if self.augment_directions:
-                    for item in extracted:
-                        features.extend(
-                            direction_dropout_variants(item, self.window)
-                        )
-        if not features:
+                    variants = augment_direction_dropout(matrix, self.window)
+                    if len(variants):
+                        blocks.append(variants)
+                        rows += len(variants)
+                labels.extend([label] * rows)
+        if not blocks:
             raise ValueError("no classifiable windows in the training traces")
-        dataset = Dataset.from_features(features)
+        dataset = Dataset.from_matrix(np.concatenate(blocks, axis=0), labels)
         self._classes = dataset.classes
         x = self._scaler.fit_transform(self._select_features(dataset.x))
         y = dataset.label_indices()
@@ -165,35 +178,66 @@ class AttackPipeline:
 
     # -- evaluation -----------------------------------------------------------
 
+    def classify_matrix(self, matrix: np.ndarray) -> list[str]:
+        """Predict an activity label per row of a raw feature matrix.
+
+        ``matrix`` holds unscaled 12-feature rows (e.g. from
+        :func:`repro.analysis.batch.flow_feature_matrix`); scaling and
+        feature selection are applied here, and the classifier sees the
+        whole batch in one ``predict`` call.
+        """
+        if self._classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if len(matrix) == 0:
+            return []
+        x = self._scaler.transform(self._select_features(matrix))
+        predictions = self._classifier.predict(x)
+        return [self._classes[int(index)] for index in predictions]
+
     def classify_windows(self, windows: list[Trace]) -> list[str]:
-        """Predict an activity label for each window trace."""
+        """Predict an activity label for each window trace.
+
+        The windows need not share a parent flow, so features are
+        extracted per window; prediction is batched into a single
+        classifier call and unlabeled rows need no sentinel class.
+        """
         if self._classifier is None:
             raise RuntimeError("pipeline is not trained")
         if not windows:
             return []
-        features = [extract_features(w, self.window, label=None) for w in windows]
-        dataset = Dataset.from_features(features, classes=self._classes + ("?",))
-        x = self._scaler.transform(self._select_features(dataset.x))
-        predictions = self._classifier.predict(x)
-        return [self._classes[int(index)] for index in predictions]
+        vectors = [extract_features(w, self.window, label=None).vector for w in windows]
+        return self.classify_matrix(np.vstack(vectors))
 
-    def evaluate_flows(self, flows_by_label: dict[str, list[Trace]]) -> AttackReport:
+    def evaluate_flows(
+        self,
+        flows_by_label: dict[str, list[Trace]],
+        cache: WindowCache | None = None,
+    ) -> AttackReport:
         """Classify every window of every flow; score against true labels.
 
         ``flows_by_label`` maps the *true* application to the observable
         flows its defended traffic produced (one flow per virtual
-        interface / pseudonym / channel slice).
+        interface / pseudonym / channel slice).  When ``cache`` is given,
+        per-flow feature matrices are reused across calls (e.g. across
+        the schemes of one table).  All windows of all flows are
+        classified in one batched prediction.
         """
+        matrices: list[np.ndarray] = []
         true_labels: list[str] = []
-        predicted: list[str] = []
         for label, flows in flows_by_label.items():
             for flow in flows:
-                windows = sliding_windows(flow, self.window, self.min_packets)
-                if not windows:
-                    continue
-                predictions = self.classify_windows(windows)
-                predicted.extend(predictions)
-                true_labels.extend([label] * len(predictions))
+                if cache is not None:
+                    matrix = cache.feature_matrix(flow, self.window, self.min_packets)
+                else:
+                    matrix = flow_feature_matrix(flow, self.window, self.min_packets)
+                if len(matrix):
+                    matrices.append(matrix)
+                    true_labels.extend([label] * len(matrix))
+        if matrices:
+            predicted = self.classify_matrix(np.concatenate(matrices, axis=0))
+        else:
+            predicted = []
         confusion = ConfusionMatrix.from_predictions(
             true_labels, predicted, self._classes
         )

@@ -1,0 +1,266 @@
+"""Vectorized batch featurization of eavesdropping windows.
+
+The attacker loop of Sec. IV (train on undefended windows, classify
+every window of every observable flow) is the hot path behind every
+table and figure.  The reference implementation
+(:func:`~repro.analysis.windows.sliding_windows` →
+:func:`~repro.analysis.features.extract_features`) materializes one
+:class:`~repro.traffic.trace.Trace` per window and runs a Python loop
+per window and per direction.  This module computes the full
+``(n_windows, 12)`` feature matrix of a flow in a handful of numpy
+passes instead:
+
+* one :func:`numpy.searchsorted` against the shared window grid
+  (:func:`~repro.analysis.windows.window_edges`) locates every window
+  boundary in each direction,
+* segmented ``ufunc.reduceat`` reductions produce per-window count /
+  max / min / mean / std of packet size,
+* interarrival means come from one :func:`numpy.diff` over re-based
+  timestamps with idle gaps masked and summed via ``bincount``.
+
+No per-window ``Trace`` is materialized and no column is copied.  The
+legacy per-window path is kept as the reference oracle; the property
+tests assert the two paths agree element-for-element.
+
+:class:`WindowCache` memoizes the two artifacts the experiment drivers
+recompute most — per-flow feature matrices (keyed by flow identity and
+normalized window) and reshaped observable flows (keyed by scheme and
+trace identity) — so the five schemes (Original/FH/RA/RR/OR) and
+multi-window sweeps share windowing work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.features import _IAT_EPSILON, FEATURE_NAMES
+from repro.analysis.windows import window_edges, window_key
+from repro.traffic.packet import DOWNLINK, UPLINK
+from repro.traffic.stats import DEFAULT_IDLE_CUTOFF
+from repro.traffic.trace import Trace
+from repro.util.validation import require, require_positive
+
+__all__ = [
+    "WindowCache",
+    "augment_direction_dropout",
+    "flow_feature_matrix",
+    "flows_feature_matrix",
+]
+
+_N_FEATURES = len(FEATURE_NAMES)
+
+
+def _direction_block(
+    dtimes: np.ndarray,
+    dsizes: np.ndarray,
+    edges: np.ndarray,
+    window: float,
+    idle_cutoff: float,
+    block: np.ndarray,
+) -> None:
+    """Per-window 6-feature block of one direction, for every window.
+
+    ``dtimes``/``dsizes`` are the (sorted) timestamps and float sizes of
+    the direction's packets; ``edges`` is the full window grid of the
+    flow.  Results are written into ``block``, a ``(n_windows, 6)``
+    column slice of the flow's feature matrix.  Windows where the
+    direction is silent get the empty-direction encoding (zero counts,
+    interarrival pinned to the window length).
+    """
+    n_windows = len(edges) - 1
+    block[:, :5] = 0.0
+    block[:, 5] = np.log(window + _IAT_EPSILON)
+    if len(dtimes) == 0:
+        return
+
+    bounds = np.searchsorted(dtimes, edges)
+    counts = bounds[1:] - bounds[:-1]
+    occupied = np.flatnonzero(counts)
+    if len(occupied) == 0:  # unreachable: edges cover every packet
+        return
+    seg_counts = counts[occupied]
+    seg_starts = bounds[:-1][occupied]
+
+    # Size statistics via segmented reductions.  Consecutive occupied
+    # windows have contiguous segments (silent windows contribute no
+    # packets), so reduceat over the occupied starts partitions dsizes.
+    sums = np.add.reduceat(dsizes, seg_starts)
+    means = sums / seg_counts
+    deviations = dsizes - np.repeat(means, seg_counts)
+    variances = np.add.reduceat(deviations * deviations, seg_starts) / seg_counts
+    block[occupied, 0] = np.log1p(seg_counts)
+    block[occupied, 1] = np.maximum.reduceat(dsizes, seg_starts)
+    block[occupied, 2] = np.minimum.reduceat(dsizes, seg_starts)
+    block[occupied, 3] = means
+    block[occupied, 4] = np.sqrt(variances)
+
+    # Interarrival means over re-based timestamps.  Re-basing before the
+    # diff mirrors the reference path's subtraction order so idle-gap
+    # cutoff decisions land on identical float values.
+    window_of = np.repeat(occupied, seg_counts)
+    rebased = dtimes - np.repeat(edges[:-1][occupied], seg_counts)
+    gaps = rebased[1:] - rebased[:-1]
+    keep = (window_of[1:] == window_of[:-1]) & (gaps <= idle_cutoff)
+    kept_gaps = gaps[keep]
+    mean_iat = np.full(n_windows, float(window))
+    if len(kept_gaps):
+        # Surviving gaps are grouped by (non-decreasing) window; sum each
+        # run with one segmented reduction.
+        kept_windows = window_of[1:][keep]
+        run_starts = np.searchsorted(kept_windows, occupied, side="left")
+        run_counts = np.searchsorted(kept_windows, occupied, side="right") - run_starts
+        has_gaps = run_counts > 0
+        gap_sums = np.add.reduceat(kept_gaps, run_starts[has_gaps])
+        mean_iat[occupied[has_gaps]] = gap_sums / run_counts[has_gaps]
+    block[:, 5] = np.log(mean_iat + _IAT_EPSILON)
+
+
+def flow_feature_matrix(
+    trace: Trace,
+    window: float,
+    min_packets: int = 2,
+) -> np.ndarray:
+    """The ``(n_windows, 12)`` feature matrix of one observable flow.
+
+    Equivalent to ``sliding_windows`` followed by per-window
+    ``extract_features`` — same window grid, same ``min_packets``
+    filter, same feature encoding — but computed in whole-flow numpy
+    passes.  Row ``k`` corresponds to the ``k``-th surviving window in
+    time order.
+    """
+    require_positive(window, "window")
+    require(min_packets >= 1, "min_packets must be >= 1")
+    if len(trace) == 0:
+        return np.empty((0, _N_FEATURES), dtype=np.float64)
+    window = float(window)
+    edges = window_edges(trace.times, window)
+    totals = np.diff(np.searchsorted(trace.times, edges))
+    idle_cutoff = min(DEFAULT_IDLE_CUTOFF, window)
+    matrix = np.empty((len(edges) - 1, _N_FEATURES), dtype=np.float64)
+    float_sizes = trace.sizes.astype(np.float64)
+    for column, direction in ((0, DOWNLINK), (6, UPLINK)):
+        mask = trace.directions == int(direction)
+        _direction_block(
+            trace.times[mask],
+            float_sizes[mask],
+            edges,
+            window,
+            idle_cutoff,
+            matrix[:, column : column + 6],
+        )
+    return matrix[totals >= min_packets]
+
+
+def flows_feature_matrix(
+    flows: Sequence[Trace],
+    window: float,
+    min_packets: int = 2,
+) -> np.ndarray:
+    """Feature matrices of several flows, concatenated in flow order."""
+    matrices = [flow_feature_matrix(flow, window, min_packets) for flow in flows]
+    if not matrices:
+        return np.empty((0, _N_FEATURES), dtype=np.float64)
+    return np.concatenate(matrices, axis=0)
+
+
+def augment_direction_dropout(matrix: np.ndarray, window: float) -> np.ndarray:
+    """Batched capture-asymmetry augmentation of a feature matrix.
+
+    Vectorized counterpart of
+    :func:`repro.analysis.features.direction_dropout_variants`: for each
+    input row emits its downlink-only then uplink-only variant, skipping
+    variants whose kept direction is empty.  Row order matches iterating
+    the reference function over the matrix rows.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    empty_iat = np.log(window + _IAT_EPSILON)
+    empty = np.array([0.0, 0.0, 0.0, 0.0, 0.0, empty_iat], dtype=np.float64)
+    variants = np.empty((len(matrix), 2, _N_FEATURES), dtype=np.float64)
+    variants[:, 0, :6] = matrix[:, :6]
+    variants[:, 0, 6:] = empty
+    variants[:, 1, :6] = empty
+    variants[:, 1, 6:] = matrix[:, 6:]
+    # The count feature is log1p(count): positive exactly when the
+    # direction carried at least one packet.
+    kept = np.stack([matrix[:, 0] > 0, matrix[:, 6] > 0], axis=1)
+    return variants[kept]
+
+
+class WindowCache:
+    """Memoizes windowing work shared across schemes and window sweeps.
+
+    Two layers:
+
+    * ``feature_matrix`` — per-flow feature matrices keyed by flow
+      identity, the normalized window (:func:`window_key`) and the
+      ``min_packets`` threshold.  Evaluating several schemes or re-using
+      a runner across experiments re-featurizes nothing.
+    * ``observable_flows`` — reshaped per-interface flows keyed by
+      (reshaper identity, trace identity).  A window sweep reshapes each
+      evaluation trace once per scheme instead of once per (scheme,
+      window).  Safe because ``ReshapingEngine.apply`` resets scheduler
+      state, making reshaping deterministic in (reshaper, trace).
+
+    Cached keys pin their source objects so ``id()`` reuse after garbage
+    collection cannot alias entries.
+    """
+
+    def __init__(self) -> None:
+        self._features: dict[tuple[int, float, int], np.ndarray] = {}
+        self._flows: dict[tuple[int, int], list[Trace]] = {}
+        self._pinned: dict[int, object] = {}
+        self.hits: int = 0
+        self.misses: int = 0
+
+    def feature_matrix(
+        self,
+        flow: Trace,
+        window: float,
+        min_packets: int = 2,
+    ) -> np.ndarray:
+        """The (cached) feature matrix of ``flow`` at ``window``."""
+        key = (id(flow), window_key(window), int(min_packets))
+        cached = self._features.get(key)
+        if cached is None:
+            self.misses += 1
+            self._pinned[id(flow)] = flow
+            cached = flow_feature_matrix(flow, window, min_packets)
+            self._features[key] = cached
+        else:
+            self.hits += 1
+        return cached
+
+    def observable_flows(
+        self,
+        scheme: object,
+        trace: Trace,
+        build: Callable[[], list[Trace]],
+    ) -> list[Trace]:
+        """The (cached) observable flows of ``trace`` under ``scheme``.
+
+        ``build`` runs on a cache miss and must be deterministic in
+        (scheme, trace); ``scheme`` may be ``None`` for the undefended
+        original.
+        """
+        key = (id(scheme), id(trace))
+        flows = self._flows.get(key)
+        if flows is None:
+            self.misses += 1
+            self._pinned[id(trace)] = trace
+            if scheme is not None:
+                self._pinned[id(scheme)] = scheme
+            flows = list(build())
+            self._flows[key] = flows
+        else:
+            self.hits += 1
+        return flows
+
+    def clear(self) -> None:
+        """Drop every cached artifact (and the object pins)."""
+        self._features.clear()
+        self._flows.clear()
+        self._pinned.clear()
+        self.hits = 0
+        self.misses = 0

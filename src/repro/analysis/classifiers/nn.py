@@ -54,8 +54,9 @@ class MlpClassifier(Classifier):
     @staticmethod
     def _softmax(z: np.ndarray) -> np.ndarray:
         shifted = z - z.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=1, keepdims=True)
+        return shifted
 
     def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "MlpClassifier":
         x = np.asarray(x, dtype=np.float64)
@@ -69,47 +70,80 @@ class MlpClassifier(Classifier):
             limit = np.sqrt(6.0 / (fan_in + fan_out))
             return rng.uniform(-limit, limit, size=(fan_in, fan_out))
 
-        params = {
-            "w1": glorot(n_features, self.hidden),
-            "b1": np.zeros(self.hidden),
-            "w2": glorot(self.hidden, n_classes),
-            "b2": np.zeros(n_classes),
+        # Parameters, gradients and Adam state live in single flat
+        # buffers; the named tensors below are reshaped views into them.
+        # The optimizer then runs a handful of whole-buffer operations
+        # per step instead of one pass per tensor — same arithmetic,
+        # thousands fewer small-array dispatches over a fit.
+        shapes = {
+            "w1": (n_features, self.hidden),
+            "b1": (self.hidden,),
+            "w2": (self.hidden, n_classes),
+            "b2": (n_classes,),
         }
-        moments = {key: np.zeros_like(value) for key, value in params.items()}
-        variances = {key: np.zeros_like(value) for key, value in params.items()}
+        flat_params = np.zeros(sum(int(np.prod(s)) for s in shapes.values()))
+        flat_grads = np.zeros_like(flat_params)
+        moments = np.zeros_like(flat_params)
+        variances = np.zeros_like(flat_params)
+        params: dict[str, np.ndarray] = {}
+        grads: dict[str, np.ndarray] = {}
+        offset = 0
+        for key, shape in shapes.items():
+            size = int(np.prod(shape))
+            params[key] = flat_params[offset : offset + size].reshape(shape)
+            grads[key] = flat_grads[offset : offset + size].reshape(shape)
+            offset += size
+        params["w1"][:] = glorot(n_features, self.hidden)
+        params["w2"][:] = glorot(self.hidden, n_classes)
+
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         one_hot = np.eye(n_classes)[y]
         step = 0
+        scratch = np.empty_like(flat_params)
+        update = np.empty_like(flat_params)
 
         for _ in range(self.epochs):
             order = rng.permutation(n_samples)
+            # One gather per epoch; minibatches below are views.
+            x_shuffled, one_hot_shuffled = x[order], one_hot[order]
             for start in range(0, n_samples, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                xb, yb = x[batch], one_hot[batch]
+                xb = x_shuffled[start : start + self.batch_size]
+                yb = one_hot_shuffled[start : start + self.batch_size]
                 hidden_pre = xb @ params["w1"] + params["b1"]
                 hidden_act = np.maximum(hidden_pre, 0.0)
                 logits = hidden_act @ params["w2"] + params["b2"]
                 probs = self._softmax(logits)
 
-                grad_logits = (probs - yb) / len(batch)
-                grads = {
-                    "w2": hidden_act.T @ grad_logits + self.weight_decay * params["w2"],
-                    "b2": grad_logits.sum(axis=0),
-                }
+                # probs is a per-step buffer: reuse it as the logit grad.
+                grad_logits = probs
+                grad_logits -= yb
+                grad_logits /= len(xb)
                 grad_hidden = grad_logits @ params["w2"].T
                 grad_hidden[hidden_pre <= 0.0] = 0.0
-                grads["w1"] = xb.T @ grad_hidden + self.weight_decay * params["w1"]
-                grads["b1"] = grad_hidden.sum(axis=0)
+                np.matmul(hidden_act.T, grad_logits, out=grads["w2"])
+                grads["w2"] += self.weight_decay * params["w2"]
+                grad_logits.sum(axis=0, out=grads["b2"])
+                np.matmul(xb.T, grad_hidden, out=grads["w1"])
+                grads["w1"] += self.weight_decay * params["w1"]
+                grad_hidden.sum(axis=0, out=grads["b1"])
 
                 step += 1
-                for key in params:
-                    moments[key] = beta1 * moments[key] + (1 - beta1) * grads[key]
-                    variances[key] = beta2 * variances[key] + (1 - beta2) * grads[key] ** 2
-                    m_hat = moments[key] / (1 - beta1**step)
-                    v_hat = variances[key] / (1 - beta2**step)
-                    params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                moments *= beta1
+                np.multiply(flat_grads, 1 - beta1, out=scratch)
+                moments += scratch
+                variances *= beta2
+                np.multiply(flat_grads, flat_grads, out=scratch)
+                scratch *= 1 - beta2
+                variances += scratch
+                np.divide(moments, 1 - beta1**step, out=update)
+                update *= self.learning_rate
+                np.divide(variances, 1 - beta2**step, out=scratch)
+                np.sqrt(scratch, out=scratch)
+                scratch += eps
+                update /= scratch
+                flat_params -= update
 
-        self._params = params
+        self._params = {key: view.copy() for key, view in params.items()}
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -1,10 +1,16 @@
-"""One-vs-rest linear SVM trained with averaged SGD on the hinge loss.
+"""One-vs-rest linear SVM trained with averaged minibatch Pegasos.
 
 A numpy reimplementation of the SVM half of the paper's attack
 (reference [6] used SVM/NN classifiers).  One binary L2-regularized
-hinge-loss machine per class (Pegasos-style step schedule), prediction
-by maximum margin.  Weight averaging over the second half of training
-stabilizes the decision boundaries on small window datasets.
+hinge-loss machine per class, prediction by maximum margin.  Training
+follows the minibatch Pegasos subgradient schedule with every class
+updated simultaneously: each step draws one shuffled minibatch, scores
+it against all one-vs-rest machines in a single matrix product, and
+applies the averaged subgradient.  Compared to the earlier per-sample
+per-class loop this is a few thousand vectorized steps instead of
+millions of interpreted ones, which is what keeps pipeline training off
+the benchmark critical path.  Weight averaging over the second half of
+training stabilizes the decision boundaries on small window datasets.
 """
 
 from __future__ import annotations
@@ -23,18 +29,28 @@ class LinearSvm(Classifier):
     Args:
         regularization: L2 coefficient lambda of the Pegasos objective.
         epochs: passes over the training data.
+        batch_size: samples per Pegasos subgradient step.
         seed: shuffling seed.
     """
 
     name = "svm"
 
-    def __init__(self, regularization: float = 1e-3, epochs: int = 40, seed: int = 0):
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        epochs: int = 40,
+        batch_size: int = 64,
+        seed: int = 0,
+    ):
         if regularization <= 0:
             raise ValueError("regularization must be positive")
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.regularization = float(regularization)
         self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
         self.seed = int(seed)
         self.weights_: np.ndarray | None = None  # (n_classes, n_features)
         self.bias_: np.ndarray | None = None  # (n_classes,)
@@ -46,41 +62,44 @@ class LinearSvm(Classifier):
         if n_samples == 0:
             raise ValueError("cannot fit on an empty dataset")
         rng = derive_rng(self.seed, "svm")
+        targets = np.where(y[None, :] == np.arange(n_classes)[:, None], 1.0, -1.0)
+        batch = min(self.batch_size, n_samples)
+        steps_per_epoch = -(-n_samples // batch)
+        half = self.epochs * steps_per_epoch // 2
+
         weights = np.zeros((n_classes, n_features))
         bias = np.zeros(n_classes)
+        weights_sum = np.zeros_like(weights)
+        bias_sum = np.zeros_like(bias)
+        averaged_steps = 0
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                chunk = order[start : start + batch]
+                xb = x[chunk]  # (B, d)
+                tb = targets[:, chunk]  # (C, B)
+                step += 1
+                eta = 1.0 / (self.regularization * step)
+                margins = tb * (weights @ xb.T + bias[:, None])
+                # Hinge subgradient, averaged over the minibatch, for
+                # every one-vs-rest machine at once.
+                coefficients = np.where(margins < 1.0, tb, 0.0)
+                scale = eta / len(chunk)
+                weights *= 1.0 - eta * self.regularization
+                weights += scale * (coefficients @ xb)
+                bias += scale * coefficients.sum(axis=1)
+                if step > half:
+                    weights_sum += weights
+                    bias_sum += bias
+                    averaged_steps += 1
 
-        for class_index in range(n_classes):
-            targets = np.where(y == class_index, 1.0, -1.0)
-            w = np.zeros(n_features)
-            b = 0.0
-            w_sum = np.zeros(n_features)
-            b_sum = 0.0
-            averaged_steps = 0
-            step = 0
-            half = self.epochs * n_samples // 2
-            for epoch in range(self.epochs):
-                order = rng.permutation(n_samples)
-                for i in order:
-                    step += 1
-                    eta = 1.0 / (self.regularization * step)
-                    margin = targets[i] * (x[i] @ w + b)
-                    w *= 1.0 - eta * self.regularization
-                    if margin < 1.0:
-                        w += eta * targets[i] * x[i]
-                        b += eta * targets[i]
-                    if step > half:
-                        w_sum += w
-                        b_sum += b
-                        averaged_steps += 1
-            if averaged_steps:
-                weights[class_index] = w_sum / averaged_steps
-                bias[class_index] = b_sum / averaged_steps
-            else:
-                weights[class_index] = w
-                bias[class_index] = b
-
-        self.weights_ = weights
-        self.bias_ = bias
+        if averaged_steps:
+            self.weights_ = weights_sum / averaged_steps
+            self.bias_ = bias_sum / averaged_steps
+        else:
+            self.weights_ = weights
+            self.bias_ = bias
         return self
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:

@@ -1,6 +1,15 @@
-"""Labeled feature datasets and train/test splitting."""
+"""Labeled feature datasets and train/test splitting.
+
+Rows may be unlabeled (``label=None``): the evaluation path classifies
+windows whose true application is unknown to the attacker, and those
+rows flow through the same :class:`Dataset` container without any
+sentinel class.  Only operations that need ground truth
+(:meth:`Dataset.label_indices`) reject unlabeled rows.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 from dataclasses import dataclass
 
@@ -14,17 +23,17 @@ __all__ = ["Dataset", "train_test_split"]
 
 @dataclass
 class Dataset:
-    """A design matrix with string labels.
+    """A design matrix with (optionally missing) string labels.
 
     Attributes:
         x: float64 matrix, one row per window.
-        y: label per row.
+        y: label per row (``None`` marks an unlabeled row).
         classes: sorted distinct labels (fixed at construction so label
             indices stay stable across subsets).
     """
 
     x: np.ndarray
-    y: list[str]
+    y: list[str | None]
     classes: tuple[str, ...]
 
     def __post_init__(self) -> None:
@@ -33,7 +42,7 @@ class Dataset:
             raise ValueError("x must be a 2-D matrix")
         if len(self.y) != self.x.shape[0]:
             raise ValueError("label count does not match row count")
-        unknown = set(self.y) - set(self.classes)
+        unknown = {label for label in self.y if label is not None} - set(self.classes)
         if unknown:
             raise ValueError(f"labels {unknown} missing from class list")
 
@@ -43,14 +52,29 @@ class Dataset:
         features: list[WindowFeatures],
         classes: tuple[str, ...] | None = None,
     ) -> "Dataset":
-        """Assemble a dataset from labeled feature vectors."""
+        """Assemble a dataset from (possibly unlabeled) feature vectors."""
         if not features:
             raise ValueError("cannot build a dataset from zero windows")
-        labels = [f.label if f.label is not None else "?" for f in features]
-        if classes is None:
-            classes = tuple(sorted(set(labels)))
+        labels = [f.label for f in features]
         matrix = np.vstack([f.vector for f in features])
-        return cls(matrix, labels, classes)
+        return cls.from_matrix(matrix, labels, classes)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        labels: Sequence[str | None],
+        classes: tuple[str, ...] | None = None,
+    ) -> "Dataset":
+        """Assemble a dataset from a precomputed feature matrix.
+
+        This is the batch-featurization entry point: the matrix comes
+        straight from :func:`repro.analysis.batch.flow_feature_matrix`
+        with one label per row.
+        """
+        if classes is None:
+            classes = tuple(sorted({label for label in labels if label is not None}))
+        return cls(matrix, list(labels), classes)
 
     def __len__(self) -> int:
         return int(self.x.shape[0])
@@ -58,7 +82,12 @@ class Dataset:
     def label_indices(self) -> np.ndarray:
         """Integer-encoded labels, indexed into :attr:`classes`."""
         index = {label: i for i, label in enumerate(self.classes)}
-        return np.array([index[label] for label in self.y], dtype=np.int64)
+        try:
+            return np.array([index[label] for label in self.y], dtype=np.int64)
+        except KeyError:
+            raise ValueError(
+                "cannot index labels of a dataset with unlabeled rows"
+            ) from None
 
     def subset(self, mask: np.ndarray) -> "Dataset":
         """Rows where ``mask`` is True (class list preserved)."""
@@ -66,10 +95,11 @@ class Dataset:
         return Dataset(self.x[mask], [label for label, keep in zip(self.y, mask) if keep], self.classes)
 
     def class_counts(self) -> dict[str, int]:
-        """Number of rows per class."""
+        """Number of labeled rows per class."""
         counts = {label: 0 for label in self.classes}
         for label in self.y:
-            counts[label] += 1
+            if label is not None:
+                counts[label] += 1
         return counts
 
 
@@ -83,7 +113,7 @@ def train_test_split(
         raise ValueError("test_fraction must be in (0, 1)")
     rng = derive_rng(seed, "dataset", "split")
     test_mask = np.zeros(len(dataset), dtype=bool)
-    labels = np.asarray(dataset.y)
+    labels = np.asarray(dataset.y, dtype=object)
     for label in dataset.classes:
         indices = np.flatnonzero(labels == label)
         if len(indices) == 0:

@@ -17,6 +17,13 @@ counts would make the bulk-transfer classes extreme outliers after
 standardization and drown the size features the paper identifies as the
 main signal ("the main feature, 'average packet size'", Sec. IV-C).
 Size features stay in raw bytes.
+
+This module is the *reference* per-window path: it processes one window
+``Trace`` at a time and defines the feature semantics.  The production
+hot path is the vectorized batch engine in :mod:`repro.analysis.batch`,
+which computes whole-flow feature matrices in a few numpy passes and is
+property-tested to match :func:`features_from_windows`
+element-for-element.
 """
 
 from __future__ import annotations

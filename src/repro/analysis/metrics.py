@@ -42,12 +42,28 @@ class ConfusionMatrix:
         predicted_labels: list[str],
         classes: tuple[str, ...],
     ) -> "ConfusionMatrix":
-        """Tally predictions into a confusion matrix."""
+        """Tally predictions into a confusion matrix.
+
+        Raises:
+            ValueError: when a true or predicted label is outside
+                ``classes`` (e.g. an application present in evaluation
+                but absent from training) — the offending label is named
+                so corpus mismatches surface immediately.
+        """
         if len(true_labels) != len(predicted_labels):
             raise ValueError("label lists must have equal length")
         index = {label: i for i, label in enumerate(classes)}
         matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
         for truth, predicted in zip(true_labels, predicted_labels):
+            if truth not in index:
+                raise ValueError(
+                    f"true label {truth!r} is not among the classes {tuple(classes)!r}"
+                )
+            if predicted not in index:
+                raise ValueError(
+                    f"predicted label {predicted!r} is not among the classes "
+                    f"{tuple(classes)!r}"
+                )
             matrix[index[truth], index[predicted]] += 1
         return cls(tuple(classes), matrix)
 

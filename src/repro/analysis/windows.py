@@ -5,6 +5,14 @@ shortest time duration of traffic for classification each time"
 (Sec. IV-A).  A flow is chopped into consecutive W-second windows;
 windows with fewer than a minimum number of packets are dropped (an
 eavesdropper cannot classify silence).
+
+:func:`window_edges` defines the canonical window grid of a flow; it is
+shared by the per-window slicer below and by the vectorized batch
+featurizer (:mod:`repro.analysis.batch`), so both paths agree on window
+boundaries by construction.  :func:`sliding_windows` remains the
+reference per-window path: it materializes one re-based sub-``Trace``
+per window (columns other than time are views into the parent flow, not
+copies) and is what the batch engine is tested against.
 """
 
 from __future__ import annotations
@@ -14,7 +22,44 @@ import numpy as np
 from repro.traffic.trace import Trace
 from repro.util.validation import require, require_positive
 
-__all__ = ["sliding_windows", "window_traces"]
+__all__ = ["sliding_windows", "window_edges", "window_key", "window_traces"]
+
+#: Decimal places used to normalize eavesdropping-window cache keys.
+_WINDOW_KEY_DECIMALS = 9
+
+
+def window_key(window: float) -> float:
+    """Normalize ``window`` for use as a dictionary key.
+
+    Float jitter from arithmetic on window values (``0.1 + 0.2``) would
+    otherwise make logically-equal windows miss caches keyed by the raw
+    float — every cache of per-window artifacts (trained pipelines,
+    feature matrices) keys on this.
+    """
+    require_positive(window, "window")
+    return round(float(window), _WINDOW_KEY_DECIMALS)
+
+
+def window_edges(times: np.ndarray, window: float) -> np.ndarray:
+    """Edges of the consecutive W-second windows covering ``times``.
+
+    Returns ``count + 1`` edges for ``count`` half-open windows
+    ``[edge[k], edge[k+1])``, the minimum number that covers every
+    packet (a packet landing exactly on the final flow timestamp at a
+    whole multiple of W still falls inside the last window).
+    """
+    if len(times) == 0:
+        raise ValueError("window_edges requires at least one timestamp")
+    start = float(times[0])
+    end = float(times[-1])
+    count = max(1, int(np.ceil((end - start) / window)))
+    # Test the coverage invariant directly rather than nudging the
+    # division with an epsilon: a span that is an exact multiple of W
+    # (or rounds to one) must still place the final packet strictly
+    # inside the last half-open window.
+    while start + count * window <= end:
+        count += 1
+    return start + np.arange(count + 1) * window
 
 
 def sliding_windows(
@@ -30,31 +75,28 @@ def sliding_windows(
         min_packets: windows with fewer packets are dropped.
 
     Returns sub-traces whose timestamps are re-based to the window start
-    so features never depend on absolute time.
+    so features never depend on absolute time.  The non-time columns of
+    each slice are views into ``trace`` — treat them as read-only.
     """
     require_positive(window, "window")
     require(min_packets >= 1, "min_packets must be >= 1")
     if len(trace) == 0:
         return []
-    start = float(trace.times[0])
-    end = float(trace.times[-1])
-    slices: list[Trace] = []
-    # Enough edges that the half-open final window covers the last packet.
-    count = max(1, int(np.ceil((end - start) / window + 1e-12)) + 1)
-    edges = start + np.arange(count + 1) * window
+    edges = window_edges(trace.times, window)
     indices = np.searchsorted(trace.times, edges)
+    slices: list[Trace] = []
     for k in range(len(edges) - 1):
         lo, hi = int(indices[k]), int(indices[k + 1])
         if hi - lo < min_packets:
             continue
         slices.append(
-            Trace(
+            Trace._trusted(
                 trace.times[lo:hi] - float(edges[k]),
-                trace.sizes[lo:hi].copy(),
-                trace.directions[lo:hi].copy(),
-                trace.ifaces[lo:hi].copy(),
-                trace.channels[lo:hi].copy(),
-                trace.rssi[lo:hi].copy(),
+                trace.sizes[lo:hi],
+                trace.directions[lo:hi],
+                trace.ifaces[lo:hi],
+                trace.channels[lo:hi],
+                trace.rssi[lo:hi],
                 trace.label,
                 {},
             )

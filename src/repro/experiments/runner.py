@@ -3,6 +3,12 @@
 The runner owns a trained :class:`~repro.analysis.attack.AttackPipeline`
 per eavesdropping window W and evaluates each scheduling scheme by
 reshaping the evaluation traces and classifying the observable flows.
+A shared :class:`~repro.analysis.batch.WindowCache` memoizes reshaped
+flows per scheme and per-flow feature matrices per window, so the five
+schemes and multi-window sweeps never repeat windowing work.  Pipelines
+are keyed by the normalized window
+(:func:`~repro.analysis.windows.window_key`), so float jitter in a
+sweep's window arithmetic cannot silently retrain a duplicate pipeline.
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.attack import AttackPipeline, AttackReport
+from repro.analysis.batch import WindowCache
+from repro.analysis.windows import window_key
 from repro.core.base import Reshaper
 from repro.core.engine import ReshapingEngine
 from repro.experiments.scenarios import EvaluationScenario, build_schemes
@@ -25,14 +33,24 @@ class ExperimentRunner:
 
     scenario: EvaluationScenario
     _pipelines: dict[float, AttackPipeline] = field(default_factory=dict, repr=False)
+    _schemes: dict[int, dict[str, Reshaper | None]] = field(
+        default_factory=dict, repr=False
+    )
+    _cache: WindowCache = field(default_factory=WindowCache, repr=False)
+
+    @property
+    def window_cache(self) -> WindowCache:
+        """The runner's shared windowing/featurization cache."""
+        return self._cache
 
     def pipeline(self, window: float) -> AttackPipeline:
         """The trained attack pipeline for eavesdropping duration ``window``."""
-        if window not in self._pipelines:
+        key = window_key(window)
+        if key not in self._pipelines:
             pipeline = AttackPipeline(window=window, seed=self.scenario.seed)
             pipeline.train(self.scenario.training_traces())
-            self._pipelines[window] = pipeline
-        return self._pipelines[window]
+            self._pipelines[key] = pipeline
+        return self._pipelines[key]
 
     def observable_flows(
         self,
@@ -42,8 +60,11 @@ class ExperimentRunner:
         """What the eavesdropper captures when ``trace`` runs under ``reshaper``."""
         if reshaper is None:
             return [trace]
-        engine = ReshapingEngine(reshaper)
-        return engine.apply(trace).observable_flows
+        return self._cache.observable_flows(
+            reshaper,
+            trace,
+            lambda: ReshapingEngine(reshaper).apply(trace).observable_flows,
+        )
 
     def evaluate_scheme(
         self,
@@ -58,7 +79,17 @@ class ExperimentRunner:
             for trace in traces:
                 flows.extend(self.observable_flows(reshaper, trace))
             flows_by_label[app.value] = flows
-        return pipeline.evaluate_flows(flows_by_label)
+        return pipeline.evaluate_flows(flows_by_label, cache=self._cache)
+
+    def schemes(self, interfaces: int = 3) -> dict[str, Reshaper | None]:
+        """The runner's scheme set (built once per interface count).
+
+        Reshaper identity must be stable across calls so the window
+        cache can reuse reshaped flows across windows and experiments.
+        """
+        if interfaces not in self._schemes:
+            self._schemes[interfaces] = build_schemes(interfaces, self.scenario.seed)
+        return self._schemes[interfaces]
 
     def evaluate_all_schemes(
         self,
@@ -67,7 +98,7 @@ class ExperimentRunner:
     ) -> dict[str, AttackReport]:
         """Reports for Original / FH / RA / RR / OR at one window size."""
         reports: dict[str, AttackReport] = {}
-        for name, reshaper in build_schemes(interfaces, self.scenario.seed).items():
+        for name, reshaper in self.schemes(interfaces).items():
             reports[name] = self.evaluate_scheme(reshaper, window)
         return reports
 

@@ -5,6 +5,11 @@ in OR barely rise along with the increase of W" while every other scheme
 improves for the attacker.  This experiment fills in the curve at
 intermediate windows — the reproduction's analogue of a figure the paper
 describes but does not plot.
+
+One :class:`~repro.experiments.runner.ExperimentRunner` spans the whole
+sweep, so its window cache reshapes each evaluation trace once per
+scheme (not once per scheme *and* window) and the batch featurizer
+computes each flow's feature matrix once per window.
 """
 
 from __future__ import annotations

@@ -79,6 +79,36 @@ class Trace:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _trusted(
+        cls,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        ifaces: np.ndarray,
+        channels: np.ndarray,
+        rssi: np.ndarray,
+        label: str | None,
+        meta: dict,
+    ) -> "Trace":
+        """Internal fast path: build a trace from already-validated columns.
+
+        Skips ``__post_init__`` dtype coercion and invariant checks, so the
+        caller must guarantee equal-length, correctly-typed, sorted columns.
+        Used by transformations that preserve the invariants by construction
+        (masks of a valid trace, sorted merges, window slices).
+        """
+        trace = cls.__new__(cls)
+        trace.times = times
+        trace.sizes = sizes
+        trace.directions = directions
+        trace.ifaces = ifaces
+        trace.channels = channels
+        trace.rssi = rssi
+        trace.label = label
+        trace.meta = meta
+        return trace
+
+    @classmethod
     def from_arrays(
         cls,
         times: Sequence[float],
@@ -179,13 +209,15 @@ class Trace:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != self.times.shape:
             raise ValueError("mask shape does not match trace length")
-        return Trace(
-            self.times[mask].copy(),
-            self.sizes[mask].copy(),
-            self.directions[mask].copy(),
-            self.ifaces[mask].copy(),
-            self.channels[mask].copy(),
-            self.rssi[mask].copy(),
+        # Boolean indexing already yields fresh arrays, and a mask of a
+        # valid trace preserves every invariant — take the fast path.
+        return Trace._trusted(
+            self.times[mask],
+            self.sizes[mask],
+            self.directions[mask],
+            self.ifaces[mask],
+            self.channels[mask],
+            self.rssi[mask],
             label if label is not None else self.label,
             dict(self.meta),
         )
@@ -340,8 +372,21 @@ def merge_traces(traces: Sequence[Trace], label: str | None = None) -> Trace:
     if not traces:
         return Trace.empty(label)
     times = np.concatenate([t.times for t in traces])
-    order = np.argsort(times, kind="stable")
-    return Trace(
+    if len(traces) == 2:
+        # Two-way merge of already-sorted inputs: two binary searches
+        # instead of a full argsort.  Position arithmetic reproduces the
+        # stable order exactly (first trace wins ties).
+        first, second = traces[0].times, traces[1].times
+        order = np.empty(len(times), dtype=np.int64)
+        order[np.arange(len(first)) + np.searchsorted(second, first, side="left")] = np.arange(len(first))
+        order[np.arange(len(second)) + np.searchsorted(first, second, side="right")] = (
+            np.arange(len(second)) + len(first)
+        )
+    else:
+        order = np.argsort(times, kind="stable")
+    # Inputs are valid traces and the gather sorts by time, so the merged
+    # columns satisfy every invariant by construction.
+    return Trace._trusted(
         times[order],
         np.concatenate([t.sizes for t in traces])[order],
         np.concatenate([t.directions for t in traces])[order],

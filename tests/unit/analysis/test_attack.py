@@ -76,6 +76,31 @@ class TestEvaluation:
     def test_classify_windows_empty(self, trained):
         assert trained.classify_windows([]) == []
 
+    def test_classify_windows_agrees_with_matrix_path(self, trained):
+        from repro.analysis.batch import flow_feature_matrix
+        from repro.analysis.windows import sliding_windows
+        from repro.traffic.generator import TrafficGenerator
+
+        generator = TrafficGenerator(seed=782)
+        flow = generator.generate(AppType.VIDEO, 60.0, session=8)
+        windows = sliding_windows(flow, trained.window, trained.min_packets)
+        per_window = trained.classify_windows(windows)
+        batched = trained.classify_matrix(
+            flow_feature_matrix(flow, trained.window, trained.min_packets)
+        )
+        assert per_window == batched
+
+    def test_classify_matrix_empty(self, trained):
+        import numpy as np
+
+        assert trained.classify_matrix(np.empty((0, 12))) == []
+
+    def test_classify_matrix_untrained(self):
+        import numpy as np
+
+        with pytest.raises(RuntimeError):
+            AttackPipeline(window=5.0).classify_matrix(np.zeros((1, 12)))
+
     def test_defense_evaluation_container(self, trained):
         from repro.traffic.generator import TrafficGenerator
 

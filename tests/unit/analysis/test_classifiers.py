@@ -76,6 +76,13 @@ class TestSvmSpecifics:
             LinearSvm(regularization=0.0)
         with pytest.raises(ValueError):
             LinearSvm(epochs=0)
+        with pytest.raises(ValueError):
+            LinearSvm(batch_size=0)
+
+    def test_batch_larger_than_dataset_is_clamped(self, rng):
+        x, y = _blobs(rng, n_per_class=4)
+        svm = LinearSvm(seed=0, epochs=10, batch_size=4096).fit(x, y, 3)
+        assert svm.predict(x).shape == (len(x),)
 
 
 class TestMlpSpecifics:

@@ -45,6 +45,34 @@ class TestDataset:
         dataset = Dataset.from_features(_features("a", 3) + _features("b", 1))
         assert dataset.class_counts() == {"a": 3, "b": 1}
 
+    def test_from_matrix(self):
+        matrix = np.zeros((3, 12))
+        dataset = Dataset.from_matrix(matrix, ["b", "a", "b"])
+        assert dataset.classes == ("a", "b")
+        assert list(dataset.label_indices()) == [1, 0, 1]
+
+
+class TestUnlabeledRows:
+    def test_label_none_accepted_without_sentinel(self):
+        features = [WindowFeatures(np.zeros(12), None) for _ in range(2)]
+        dataset = Dataset.from_features(features, classes=("a", "b"))
+        assert dataset.y == [None, None]
+        assert dataset.classes == ("a", "b")
+
+    def test_none_excluded_from_inferred_classes(self):
+        features = _features("a", 1) + [WindowFeatures(np.zeros(12), None)]
+        dataset = Dataset.from_features(features)
+        assert dataset.classes == ("a",)
+
+    def test_label_indices_rejects_unlabeled(self):
+        dataset = Dataset.from_matrix(np.zeros((1, 12)), [None], classes=("a",))
+        with pytest.raises(ValueError, match="unlabeled"):
+            dataset.label_indices()
+
+    def test_class_counts_ignores_unlabeled(self):
+        dataset = Dataset.from_matrix(np.zeros((3, 12)), ["a", None, "a"], classes=("a",))
+        assert dataset.class_counts() == {"a": 2}
+
 
 class TestTrainTestSplit:
     def test_stratified(self):

@@ -32,6 +32,16 @@ class TestConfusionMatrix:
         with pytest.raises(ValueError):
             ConfusionMatrix.from_predictions(["a"], ["a", "b"], CLASSES)
 
+    def test_unknown_true_label_named_in_error(self):
+        # An app present in evaluation but absent from training must fail
+        # with a diagnosable error, not a bare KeyError.
+        with pytest.raises(ValueError, match="true label 'mystery'"):
+            ConfusionMatrix.from_predictions(["mystery"], ["a"], CLASSES)
+
+    def test_unknown_predicted_label_named_in_error(self):
+        with pytest.raises(ValueError, match="predicted label 'zz'"):
+            ConfusionMatrix.from_predictions(["a"], ["zz"], CLASSES)
+
     def test_shape_validation(self):
         with pytest.raises(ValueError):
             ConfusionMatrix(CLASSES, np.zeros((2, 2)))

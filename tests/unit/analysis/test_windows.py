@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.analysis.windows import sliding_windows, window_traces
+from repro.analysis.windows import (
+    sliding_windows,
+    window_edges,
+    window_key,
+    window_traces,
+)
 from repro.traffic.trace import Trace
 
 
@@ -46,6 +51,67 @@ class TestSlidingWindows:
         trace = Trace.from_arrays(times, np.full(500, 10))
         windows = sliding_windows(trace, 5.0, min_packets=1)
         assert sum(len(w) for w in windows) == 500
+
+    def test_non_time_columns_are_views(self):
+        # The slicer no longer copies the five non-time columns per
+        # window; slices alias the parent flow's storage.
+        trace = Trace.from_arrays(np.arange(10) * 1.0, np.full(10, 100))
+        [first, _] = sliding_windows(trace, 5.0, min_packets=2)
+        assert np.shares_memory(first.sizes, trace.sizes)
+        assert np.shares_memory(first.directions, trace.directions)
+
+    def test_last_packet_on_exact_multiple_is_windowed(self):
+        # Span exactly 2 W: the packet at t=10 belongs to a third window.
+        trace = Trace.from_arrays([0.0, 1.0, 5.0, 6.0, 10.0], [1] * 5)
+        windows = sliding_windows(trace, 5.0, min_packets=1)
+        assert len(windows) == 3
+        assert len(windows[-1]) == 1
+
+
+class TestWindowEdges:
+    def test_minimal_edge_count(self):
+        # 0..9.x seconds at W=5 needs exactly 2 windows (3 edges) — the
+        # old implementation allocated one always-empty trailing window.
+        edges = window_edges(np.arange(10) * 1.0, 5.0)
+        assert len(edges) == 3
+
+    def test_exact_multiple_span(self):
+        edges = window_edges(np.array([0.0, 10.0]), 5.0)
+        assert len(edges) == 4  # packet at 10.0 needs the [10, 15) window
+
+    def test_zero_span(self):
+        edges = window_edges(np.array([3.0, 3.0]), 5.0)
+        assert len(edges) == 2
+        assert edges[0] == pytest.approx(3.0)
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(ValueError, match="at least one timestamp"):
+            window_edges(np.array([]), 5.0)
+
+    def test_large_exact_multiple_span_still_covered(self):
+        # Regression: spans of ~2^13 W and beyond exceed what a fixed
+        # 1e-12 epsilon on the edge-count division could represent; the
+        # final packet at an exact multiple of W must stay inside the
+        # last window regardless of magnitude.
+        for multiple in (16384, 2**20):
+            times = np.array([0.0, 0.5, multiple * 5.0 - 0.5, multiple * 5.0])
+            edges = window_edges(times, 5.0)
+            assert edges[-1] > times[-1]
+            trace = Trace.from_arrays(times, [10, 20, 30, 40])
+            windows = sliding_windows(trace, 5.0, min_packets=1)
+            assert sum(len(w) for w in windows) == 4
+
+
+class TestWindowKey:
+    def test_float_jitter_normalized(self):
+        assert window_key(0.1 + 0.2) == window_key(0.3)
+
+    def test_distinct_windows_stay_distinct(self):
+        assert window_key(5.0) != window_key(60.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            window_key(0.0)
 
 
 class TestWindowTraces:
