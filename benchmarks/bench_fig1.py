@@ -3,10 +3,9 @@
 import numpy as np
 
 from repro.experiments.fig1 import figure1_cdf_series
-from repro.util.tables import format_table
 
 
-def test_figure1(benchmark, save_result):
+def test_figure1(benchmark, save_table):
     series = benchmark.pedantic(
         figure1_cdf_series, kwargs={"duration": 300.0, "seed": 7}, rounds=1, iterations=1
     )
@@ -18,12 +17,12 @@ def test_figure1(benchmark, save_result):
         for size in landmarks:
             row.append(float(cdf[np.searchsorted(grid, size)]))
         rows.append(row)
-    table = format_table(
+    save_table(
+        "fig1",
         ["app"] + [f"CDF@{size}" for size in landmarks],
         rows,
         title="Figure 1 — downlink packet-size CDF at landmark sizes",
     )
-    save_result("fig1", table)
 
     # Shape assertions: chatting is small-dominated, downloading MTU-only.
     chat_cdf = series["chatting"][1]

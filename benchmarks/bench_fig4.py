@@ -1,10 +1,9 @@
 """FIG4: OR schedules a BT flow by size ranges (paper Figure 4)."""
 
 from repro.experiments.fig45 import figure4_series
-from repro.util.tables import format_table
 
 
-def test_figure4(benchmark, save_result):
+def test_figure4(benchmark, save_table):
     series = benchmark.pedantic(
         figure4_series, kwargs={"duration": 300.0, "seed": 7}, rounds=1, iterations=1
     )
@@ -15,12 +14,12 @@ def test_figure4(benchmark, save_result):
 
         median = float(flow_cdf_grid[np.searchsorted(flow_cdf, 0.5)])
         rows.append([f"interface {iface + 1}", count, median])
-    table = format_table(
+    save_table(
+        "fig4",
         ["flow", "packets", "median size"],
         rows,
         title="Figure 4 — OR over ranges (0,525], (525,1050], (1050,1576] on BT",
     )
-    save_result("fig4", table)
 
     # Each interface's sizes live inside its range (Fig. 4 b-d).
     histograms = series.interface_histograms

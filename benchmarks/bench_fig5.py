@@ -3,10 +3,9 @@
 import numpy as np
 
 from repro.experiments.fig45 import figure5_series
-from repro.util.tables import format_table
 
 
-def test_figure5(benchmark, save_result):
+def test_figure5(benchmark, save_table):
     series = benchmark.pedantic(
         figure5_series, kwargs={"duration": 300.0, "seed": 7}, rounds=1, iterations=1
     )
@@ -15,12 +14,12 @@ def test_figure5(benchmark, save_result):
         grid, cdf = series.interface_cdfs[iface]
         spread = float(grid[np.searchsorted(cdf, 0.95)] - grid[np.searchsorted(cdf, 0.05)])
         rows.append([f"interface {iface + 1}", series.packets_per_interface[iface], spread])
-    table = format_table(
+    save_table(
+        "fig5",
         ["flow", "packets", "5-95% size spread"],
         rows,
         title="Figure 5 — OR by i = L(s) mod 3 on BT (full-spectrum interfaces)",
     )
-    save_result("fig5", table)
 
     # Fig. 5's property: every interface spans (almost) the whole size
     # axis, unlike Fig. 4's disjoint ranges.

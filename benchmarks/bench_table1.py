@@ -3,7 +3,6 @@
 import math
 
 from repro.experiments.table1 import table1_interface_features
-from repro.util.tables import format_table
 
 #: Paper Table I, "Original" column: (mean size B, mean interarrival s).
 PAPER_ORIGINAL = {
@@ -17,7 +16,7 @@ PAPER_ORIGINAL = {
 }
 
 
-def test_table1(benchmark, scenario, save_result):
+def test_table1(benchmark, scenario, save_table):
     rows_data = benchmark.pedantic(
         table1_interface_features, args=(scenario,), rounds=1, iterations=1
     )
@@ -36,13 +35,13 @@ def test_table1(benchmark, scenario, save_result):
                 row.interface_mean_sizes[2],
             ]
         )
-    table = format_table(
+    save_table(
+        "table1",
         ["app", "size", "paper", "iat", "paper", "if1 size", "if2 size", "if3 size"],
         rows,
         title="Table I — features on virtual interfaces (AP -> user), OR I=3",
         float_digits=3,
     )
-    save_result("table1", table)
 
     for row in rows_data:
         # Interface size bands match the OR ranges whenever populated.

@@ -1,7 +1,6 @@
 """T2: classification accuracy at W = 5 s (paper Table II)."""
 
 from repro.experiments.tables23 import classification_accuracy_table
-from repro.util.tables import format_table
 
 #: Paper Table II (W = 5 s).
 PAPER = {
@@ -18,7 +17,7 @@ PAPER = {
 SCHEMES = ("Original", "FH", "RA", "RR", "OR")
 
 
-def test_table2(benchmark, scenario, save_result):
+def test_table2(benchmark, scenario, save_table):
     table = benchmark.pedantic(
         classification_accuracy_table, args=(5.0, scenario), rounds=1, iterations=1
     )
@@ -33,10 +32,9 @@ def test_table2(benchmark, scenario, save_result):
     headers = ["app"]
     for scheme in SCHEMES:
         headers.extend([scheme, "(paper)"])
-    rendered = format_table(
-        headers, rows, title="Table II — classification accuracy %, W = 5 s"
+    save_table(
+        "table2", headers, rows, title="Table II — classification accuracy %, W = 5 s"
     )
-    save_result("table2", rendered)
 
     # Shape assertions against the paper's qualitative result.
     assert table.mean("Original") > 75.0

@@ -1,7 +1,6 @@
 """T3: classification accuracy at W = 60 s (paper Table III)."""
 
 from repro.experiments.tables23 import classification_accuracy_table
-from repro.util.tables import format_table
 
 #: Paper Table III (W = 60 s).
 PAPER = {
@@ -18,7 +17,7 @@ PAPER = {
 SCHEMES = ("Original", "FH", "RA", "RR", "OR")
 
 
-def test_table3(benchmark, scenario, save_result):
+def test_table3(benchmark, scenario, save_table):
     table = benchmark.pedantic(
         classification_accuracy_table, args=(60.0, scenario), rounds=1, iterations=1
     )
@@ -33,10 +32,9 @@ def test_table3(benchmark, scenario, save_result):
     headers = ["app"]
     for scheme in SCHEMES:
         headers.extend([scheme, "(paper)"])
-    rendered = format_table(
-        headers, rows, title="Table III — classification accuracy %, W = 60 s"
+    save_table(
+        "table3", headers, rows, title="Table III — classification accuracy %, W = 60 s"
     )
-    save_result("table3", rendered)
 
     # The paper's headline: extending W helps the attacker against the
     # naive schemes but NOT against OR (43.69 -> 44.49).

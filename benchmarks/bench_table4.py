@@ -1,7 +1,6 @@
 """T4: false-positive rates, Original vs OR (paper Table IV)."""
 
 from repro.experiments.table4 import table4_false_positives
-from repro.util.tables import format_table
 
 #: Paper Table IV: (orig 5s, OR 5s, orig 60s, OR 60s).
 PAPER = {
@@ -16,7 +15,7 @@ PAPER = {
 }
 
 
-def test_table4(benchmark, scenario, save_result):
+def test_table4(benchmark, scenario, save_table):
     result = benchmark.pedantic(
         table4_false_positives, args=(scenario,), rounds=1, iterations=1
     )
@@ -35,8 +34,7 @@ def test_table4(benchmark, scenario, save_result):
         "orig 60s", "(paper)",
         "OR 60s", "(paper)",
     ]
-    rendered = format_table(headers, rows, title="Table IV — FP rates %")
-    save_result("table4", rendered)
+    save_table("table4", headers, rows, title="Table IV — FP rates %")
 
     # Shape: OR inflates the mean FP rate at both windows, with the
     # look-alike classes (chatting / downloading) carrying most of it.

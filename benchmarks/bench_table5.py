@@ -1,7 +1,6 @@
 """T5: OR accuracy versus interface count I (paper Table V)."""
 
 from repro.experiments.table5 import table5_interface_sweep
-from repro.util.tables import format_table
 
 #: Paper Table V (OR accuracy %, W = 5 s).
 PAPER = {
@@ -16,7 +15,7 @@ PAPER = {
 }
 
 
-def test_table5(benchmark, scenario, save_result):
+def test_table5(benchmark, scenario, save_table):
     result = benchmark.pedantic(
         table5_interface_sweep, args=(scenario,), rounds=1, iterations=1
     )
@@ -29,10 +28,9 @@ def test_table5(benchmark, scenario, save_result):
             merged.extend([measured, published])
         rows.append(merged)
     headers = ["app", "I=2", "(paper)", "I=3", "(paper)", "I=5", "(paper)"]
-    rendered = format_table(
-        headers, rows, title="Table V — OR accuracy % by interface count"
+    save_table(
+        "table5", headers, rows, title="Table V — OR accuracy % by interface count"
     )
-    save_result("table5", rendered)
 
     # Sec. IV-C: accuracy decreases with I with diminishing returns; the
     # I=2 -> I=3 step dominates the I=3 -> I=5 step.

@@ -1,7 +1,6 @@
 """T6: efficiency comparison — padding / morphing vs reshaping (Table VI)."""
 
 from repro.experiments.table6 import table6_efficiency
-from repro.util.tables import format_table
 
 #: Paper Table VI: (accuracy %, padding overhead %, morphing overhead %).
 PAPER = {
@@ -16,7 +15,7 @@ PAPER = {
 }
 
 
-def test_table6(benchmark, scenario, save_result):
+def test_table6(benchmark, scenario, save_table):
     result = benchmark.pedantic(
         table6_efficiency, args=(scenario,), rounds=1, iterations=1
     )
@@ -34,10 +33,9 @@ def test_table6(benchmark, scenario, save_result):
         "pad ovh%", "(paper)",
         "morph ovh%", "(paper)",
     ]
-    rendered = format_table(
-        headers, rows, title="Table VI — efficiency comparison (W = 5 s)"
+    save_table(
+        "table6", headers, rows, title="Table VI — efficiency comparison (W = 5 s)"
     )
-    save_result("table6", rendered)
 
     # Shape: the timing attack still succeeds against padding/morphing,
     # padding is far costlier than morphing, reshaping costs 0 (by

@@ -7,22 +7,21 @@ traces the curve at four windows.
 """
 
 from repro.experiments.window_sweep import window_sweep
-from repro.util.tables import format_table
 
 
-def test_window_sweep(benchmark, scenario, save_result):
+def test_window_sweep(benchmark, scenario, save_table):
     result = benchmark.pedantic(
         window_sweep,
         kwargs={"scenario": scenario, "windows": (5.0, 15.0, 30.0, 60.0)},
         rounds=1,
         iterations=1,
     )
-    rendered = format_table(
+    save_table(
+        "window_sweep",
         ["W (s)", "Original mean %", "OR mean %", "gap"],
         result.rows(),
         title="Eavesdropping-duration sweep (paper: OR flat, Original rising)",
     )
-    save_result("window_sweep", rendered)
 
     # Longer windows help the attacker on undefended traffic...
     assert result.original[-1] >= result.original[0] - 2.0

@@ -3,7 +3,10 @@
 One evaluation scenario (and its trained attack pipelines) is shared by
 all table benchmarks so the corpus is generated and the classifiers are
 trained once per session.  Each bench renders its regenerated table to
-stdout and to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+stdout and to ``benchmarks/results/<name>.txt``; table-shaped benches
+additionally persist ``results/<name>.json`` (via ``save_table``) so
+comparisons across runs diff structured rows instead of re-parsing the
+printed tables.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import pytest
 
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
+from repro.util.results import ExperimentResult
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -38,12 +42,40 @@ def runner(scenario: EvaluationScenario) -> ExperimentRunner:
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Persist a rendered table for EXPERIMENTS.md and echo it."""
+    """Persist a rendered table and echo it."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
     def _save(name: str, text: str) -> None:
         with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as f:
             f.write(text + "\n")
         print("\n" + text)
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_table(save_result):
+    """Persist a table as aligned text (.txt) AND structured JSON (.json).
+
+    The text baseline stays byte-compatible with the legacy
+    ``format_table`` output; the JSON twin carries headers/rows so
+    before/after perf comparisons diff values, not ASCII art.
+    """
+
+    def _save(
+        name: str,
+        headers: list[str],
+        rows: list[list[object]],
+        title: str,
+        float_digits: int = 2,
+    ) -> None:
+        result = ExperimentResult(
+            experiment=name,
+            title=title,
+            headers=tuple(headers),
+            rows=tuple(tuple(row) for row in rows),
+        )
+        save_result(name, result.to_text(float_digits=float_digits))
+        result.write(os.path.join(RESULTS_DIR, f"{name}.json"))
 
     return _save

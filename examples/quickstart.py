@@ -6,6 +6,9 @@ attacker sees with and without reshaping — the paper's headline result
 in ~40 lines of API usage.
 
 Run:  python examples/quickstart.py
+
+(For the paper's full tables/figures, use the unified CLI instead:
+`repro list`, then e.g. `repro run table2 --jobs 4` — see README.md.)
 """
 
 from repro import (

@@ -1,0 +1,311 @@
+"""The unified ``repro`` command line: list, run, and bench experiments.
+
+Entry points (all equivalent)::
+
+    repro <command> ...              # console script (pip install)
+    python -m repro <command> ...    # module execution
+
+Commands:
+
+* ``repro list`` — every registered experiment, its cell count, and
+  its options.
+* ``repro run table2 --jobs 8 --seed 0 --format json`` — run one
+  experiment, optionally fanning its cells over worker processes, and
+  render the result as text (default), JSON, or CSV.  ``--jobs N``
+  reproduces the serial path's numbers exactly (same seed ⇒ same
+  report); it only changes wall-clock.
+* ``repro bench window_sweep --jobs 4`` — time the serial path against
+  the parallel path from cold caches and print the speedup.
+
+Scenario scale flags (``--seed``, ``--train-duration``,
+``--eval-duration``, ``--train-sessions``, ``--eval-sessions``) select
+the corpus; experiment-specific knobs (window grids, interface counts)
+are set with ``--set key=value`` and validated against the
+experiment's declared options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments import registry
+from repro.experiments.parallel import (
+    clear_worker_state,
+    default_jobs,
+    run_experiment_result,
+)
+from repro.experiments.registry import ScenarioParams
+from repro.util.results import FORMATS, json_safe
+from repro.util.tables import format_table
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = ScenarioParams()
+    group = parser.add_argument_group("scenario scale")
+    group.add_argument(
+        "--seed", type=int, default=defaults.seed,
+        help="root seed for traces, classifiers, and schedulers (default: %(default)s)",
+    )
+    group.add_argument(
+        "--train-duration", type=float, default=defaults.train_duration,
+        metavar="SECONDS",
+        help="training capture length per session (default: %(default)s)",
+    )
+    group.add_argument(
+        "--eval-duration", type=float, default=defaults.eval_duration,
+        metavar="SECONDS",
+        help="held-out capture length per session (default: %(default)s)",
+    )
+    group.add_argument(
+        "--train-sessions", type=int, default=defaults.train_sessions,
+        metavar="N", help="training captures per app (default: %(default)s)",
+    )
+    group.add_argument(
+        "--eval-sessions", type=int, default=defaults.eval_sessions,
+        metavar="N", help="held-out captures per app (default: %(default)s)",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", help="registered experiment name (see `repro list`)")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for independent cells; 0 = one per CPU "
+        "(default: %(default)s, serial)",
+    )
+    parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method (default: platform default)",
+    )
+    parser.add_argument(
+        "--set", dest="options", action="append", default=[], metavar="KEY=VALUE",
+        help="override an experiment option (repeatable); "
+        "see `repro list` for each experiment's options",
+    )
+    _add_scenario_arguments(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables, figures, and sweeps "
+        "— serially or fanned out over worker processes.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered experiments", description="List every "
+        "registered experiment with its cell decomposition and options.",
+    )
+    list_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
+    )
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment", description="Run a registered "
+        "experiment and print (or write) its result.",
+    )
+    _add_run_arguments(run_parser)
+    run_parser.add_argument(
+        "--format", choices=FORMATS, default=None,
+        help="output format (default: text; an explicit choice also "
+        "overrides --output suffix inference)",
+    )
+    run_parser.add_argument(
+        "--output", "-o", metavar="PATH", default=None,
+        help="also write the result to PATH (format inferred from the "
+        "suffix unless --format is given explicitly)",
+    )
+
+    bench_parser = commands.add_parser(
+        "bench", help="time serial vs parallel execution",
+        description="Run one experiment serially and with --jobs workers, "
+        "both from cold caches, and print the wall-clock comparison.",
+    )
+    _add_run_arguments(bench_parser)
+    # Unlike `run`, a bare `repro bench <exp>` should actually compare:
+    # default to one worker per CPU rather than serial-only.
+    bench_parser.set_defaults(jobs=0)
+    return parser
+
+
+class _UsageError(Exception):
+    """A user mistake (unknown experiment/option, bad value) — exit 2."""
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise _UsageError(f"bad --set {pair!r}; expected KEY=VALUE")
+        overrides[key] = value
+    return overrides
+
+
+def _scenario_params(args: argparse.Namespace) -> ScenarioParams:
+    return ScenarioParams(
+        seed=args.seed,
+        train_duration=args.train_duration,
+        eval_duration=args.eval_duration,
+        train_sessions=args.train_sessions,
+        eval_sessions=args.eval_sessions,
+    )
+
+
+def _resolve_jobs(jobs: int) -> int:
+    return default_jobs() if jobs == 0 else max(1, jobs)
+
+
+def _prepare_run(args: argparse.Namespace):
+    """Validate the experiment name and options before any real work.
+
+    User mistakes surface here as :class:`_UsageError` (clean one-line
+    message, exit 2); anything raised later, during execution, is a
+    genuine bug and propagates with its traceback intact.
+    """
+    params = _scenario_params(args)
+    try:
+        spec = registry.get(args.experiment)
+        resolved = spec.resolve_options(_parse_overrides(args.options))
+        cells = spec.build_cells(params, resolved)  # surfaces bad list values
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise _UsageError(message) from error
+    return spec, params, resolved, len(cells)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    params = ScenarioParams()
+    entries = []
+    for spec in registry.all_specs():
+        cells = spec.build_cells(params, spec.resolve_options(None))
+        options = ", ".join(f"{k}={v}" for k, v in spec.options.items()) or "-"
+        entries.append(
+            {
+                "name": spec.name,
+                "cells": len(cells),
+                "deterministic": spec.deterministic,
+                "options": options,
+                "title": spec.title,
+            }
+        )
+    if args.format == "json":
+        print(json.dumps(json_safe(entries), indent=2))
+        return 0
+    rows = [
+        [e["name"], e["cells"], "yes" if e["deterministic"] else "no",
+         e["options"], e["title"]]
+        for e in entries
+    ]
+    print(
+        format_table(
+            ["experiment", "cells", "deterministic", "options", "title"],
+            rows,
+            title="Registered experiments (run with: repro run <experiment>)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _, params, resolved, _ = _prepare_run(args)
+    result = run_experiment_result(
+        args.experiment,
+        params=params,
+        options=resolved,
+        jobs=_resolve_jobs(args.jobs),
+        start_method=args.start_method,
+    )
+    print(result.render(args.format or "text"))
+    if args.output:
+        # An explicit --format wins; otherwise the suffix picks the
+        # file format (unknown suffixes fall back to text).
+        written = result.write(args.output, fmt=args.format)
+        print(f"repro: wrote {written} result to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    _, params, resolved, n_cells = _prepare_run(args)
+    # Report the worker count that will actually run: the executor
+    # clamps to the cell count, so a single-cell experiment at --jobs 8
+    # is still serial and must not print a fake "parallel" timing.
+    workers = min(_resolve_jobs(args.jobs), n_cells)
+    timings: list[list[object]] = []
+
+    clear_worker_state()
+    start = time.perf_counter()
+    run_experiment_result(args.experiment, params=params, options=resolved, jobs=1)
+    serial_seconds = time.perf_counter() - start
+    timings.append(["serial (--jobs 1)", serial_seconds, 1.0])
+
+    if workers > 1:
+        clear_worker_state()
+        start = time.perf_counter()
+        run_experiment_result(
+            args.experiment,
+            params=params,
+            options=resolved,
+            jobs=workers,
+            start_method=args.start_method,
+        )
+        parallel_seconds = time.perf_counter() - start
+        speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+        timings.append([f"parallel (--jobs {workers})", parallel_seconds, speedup])
+    else:
+        reason = (
+            f"only {n_cells} cell(s) to fan out"
+            if n_cells < _resolve_jobs(args.jobs)
+            else "single CPU or --jobs 1"
+        )
+        print(
+            f"repro: {reason}; timing the serial path only",
+            file=sys.stderr,
+        )
+
+    print(
+        format_table(
+            ["mode", "wall s", "speedup"],
+            timings,
+            title=f"repro bench {args.experiment} "
+            f"(cold caches; parallel speedup scales with physical cores)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except _UsageError as error:
+        # Only pre-execution validation errors are caught; a failure
+        # during execution is a bug and keeps its traceback.
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # other well-behaved unix tools.
+        sys.stderr.close()
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

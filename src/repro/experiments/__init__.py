@@ -1,12 +1,26 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
 Each experiment module produces the same rows/series the paper reports
-(see DESIGN.md section 4 for the experiment index).  The benchmarks in
-``benchmarks/`` wrap these functions with pytest-benchmark and print the
-regenerated tables next to the published values.
+(see the tables/figures map in the top-level README) and registers itself
+with the experiment registry (:mod:`repro.experiments.registry`) under
+a stable name (``table1`` .. ``table6``, ``fig1``, ``fig4``, ``fig5``,
+``window_sweep``, ``combined``, ``tpc``, ``scalability``).  The
+registry powers the unified CLI (``repro list`` / ``repro run``) and
+the parallel executor (:mod:`repro.experiments.parallel`), which fans
+an experiment's independent cells out over worker processes while the
+serial path stays bit-identical to the module entry points.  The
+benchmarks in ``benchmarks/`` wrap these functions with
+pytest-benchmark and print the regenerated tables next to the
+published values.
 """
 
 from repro.experiments.scenarios import EvaluationScenario, SCHEME_NAMES, build_schemes
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    all_specs,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.fig1 import figure1_cdf_series
 from repro.experiments.fig45 import figure4_series, figure5_series
@@ -21,19 +35,30 @@ from repro.experiments.discussion import (
     tpc_linking_experiment,
 )
 from repro.experiments.window_sweep import WindowSweepResult, window_sweep
+from repro.experiments.parallel import run_experiment, run_experiment_result
+from repro.experiments.registry import get as get_experiment
+from repro.experiments.registry import names as experiment_names
 
 __all__ = [
     "EvaluationScenario",
+    "ExperimentCell",
     "ExperimentRunner",
+    "ExperimentSpec",
+    "ScenarioParams",
     "WindowSweepResult",
     "SCHEME_NAMES",
+    "all_specs",
     "build_schemes",
     "classification_accuracy_table",
     "combined_defense_accuracy",
+    "experiment_names",
     "figure1_cdf_series",
     "figure4_series",
     "figure5_series",
+    "get_experiment",
     "reshaping_scalability",
+    "run_experiment",
+    "run_experiment_result",
     "table1_interface_features",
     "table4_false_positives",
     "table5_interface_sweep",

@@ -1,4 +1,11 @@
-"""Sec. V experiments: combined defense, TPC vs power analysis, scalability."""
+"""Sec. V experiments: combined defense, TPC vs power analysis, scalability.
+
+Registered as ``combined``, ``tpc``, and ``scalability`` — each a
+single cell (their work is one indivisible pipeline).  ``scalability``
+measures wall-clock on the current machine, so it is flagged
+non-deterministic and excluded from the serial/parallel equivalence
+guarantee.
+"""
 
 from __future__ import annotations
 
@@ -11,11 +18,21 @@ from repro.analysis.linking import RssiLinker, linking_accuracy
 from repro.core.combined import CombinedDefense
 from repro.core.engine import ReshapingEngine
 from repro.core.schedulers import OrthogonalReshaper
+from repro.experiments import parallel, registry
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    parse_number_list,
+    single_cell,
+    take_only,
+)
 from repro.experiments.scenarios import EvaluationScenario
 from repro.net.channel import Position
 from repro.net.wlan import WlanSimulation
 from repro.traffic.apps import AppType
 from repro.traffic.generator import TrafficGenerator
+from repro.util.results import ExperimentResult
 
 __all__ = [
     "CombinedDefenseResult",
@@ -208,3 +225,182 @@ def reshaping_scalability(
         seconds_per_run=tuple(times),
         packets_per_second=tuple(rates),
     )
+
+
+# ----------------------------------------------------------------------
+# Registry integration: a single cell each
+# ----------------------------------------------------------------------
+
+
+# -- combined ----------------------------------------------------------
+
+
+def _combined_cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return single_cell(
+        "combined",
+        params,
+        {"scenario": params, "window": float(options["window"])},
+    )
+
+
+def _run_combined_cell(cell: ExperimentCell) -> CombinedDefenseResult:
+    scenario = parallel.shared_scenario(cell.params["scenario"])
+    return combined_defense_accuracy(scenario, window=float(cell.params["window"]))
+
+
+def _combined_to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    result: CombinedDefenseResult,
+) -> ExperimentResult:
+    rows: list[tuple[object, ...]] = [
+        (app, result.or_accuracy[app], result.combined_accuracy[app])
+        for app in result.or_accuracy
+    ]
+    rows.append(("Mean", result.or_mean, result.combined_mean))
+    return ExperimentResult(
+        experiment="combined",
+        title="Sec. V-C — OR vs OR+morphing accuracy % (D-COMB)",
+        headers=("app", "OR %", "OR+morph %"),
+        rows=tuple(rows),
+        params={**params.as_dict(), **options},
+        extras={"combined_overhead_percent": result.combined_overhead_percent},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="combined",
+        title="Sec. V-C — combined defense (reshaping + morphing)",
+        description="OR and OR+morphing accuracy side by side, with overhead.",
+        build_cells=_combined_cells,
+        run_cell=_run_combined_cell,
+        combine=take_only,
+        to_result=_combined_to_result,
+        options={"window": 5.0},
+    )
+)
+
+
+# -- tpc ---------------------------------------------------------------
+
+
+def _tpc_cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return single_cell(
+        "tpc",
+        params,
+        {
+            "seed": params.seed,
+            "duration": float(options["duration"]),
+            "stations": int(options["stations"]),
+            "interfaces": int(options["interfaces"]),
+            "tpc_range_db": float(options["tpc_range_db"]),
+        },
+    )
+
+
+def _run_tpc_cell(cell: ExperimentCell) -> TpcLinkingResult:
+    return tpc_linking_experiment(
+        seed=int(cell.params["seed"]),
+        duration=float(cell.params["duration"]),
+        stations=int(cell.params["stations"]),
+        interfaces=int(cell.params["interfaces"]),
+        tpc_range_db=float(cell.params["tpc_range_db"]),
+    )
+
+
+def _tpc_to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    result: TpcLinkingResult,
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="tpc",
+        title="Sec. V-A — RSSI linking accuracy, fixed power vs TPC (D-TPC)",
+        headers=("metric", "value"),
+        rows=(
+            ("linking accuracy (fixed power)", result.accuracy_without_tpc),
+            ("linking accuracy (TPC)", result.accuracy_with_tpc),
+            ("virtual flows observed", result.flows_observed),
+        ),
+        params={**params.as_dict(), **options},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="tpc",
+        title="Sec. V-A — RSSI linking vs transmit power control",
+        description="Can a sniffer link virtual interfaces by RSSI, with/without TPC?",
+        build_cells=_tpc_cells,
+        run_cell=_run_tpc_cell,
+        combine=take_only,
+        to_result=_tpc_to_result,
+        options={
+            "duration": 30.0,
+            "stations": 3,
+            "interfaces": 3,
+            "tpc_range_db": 24.0,
+        },
+    )
+)
+
+
+# -- scalability -------------------------------------------------------
+
+
+def _scalability_cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return single_cell(
+        "scalability",
+        params,
+        {"seed": params.seed, "durations": str(options["durations"])},
+    )
+
+
+def _run_scalability_cell(cell: ExperimentCell) -> ScalabilityResult:
+    durations = parse_number_list(cell.params["durations"])
+    return reshaping_scalability(seed=int(cell.params["seed"]), durations=durations)
+
+
+def _scalability_to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    result: ScalabilityResult,
+) -> ExperimentResult:
+    rows = tuple(
+        (count, seconds, rate)
+        for count, seconds, rate in zip(
+            result.packet_counts, result.seconds_per_run, result.packets_per_second
+        )
+    )
+    return ExperimentResult(
+        experiment="scalability",
+        title="Sec. V-B — OR scheduling throughput vs trace size (D-SCALE)",
+        headers=("packets", "seconds", "packets/s"),
+        rows=rows,
+        params={**params.as_dict(), **options},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="scalability",
+        title="Sec. V-B — O(N) scheduling cost (wall-clock measurement)",
+        description=(
+            "OR batch-scheduling throughput across trace sizes.  Measures "
+            "this machine's wall-clock: numbers vary run to run by design."
+        ),
+        build_cells=_scalability_cells,
+        run_cell=_run_scalability_cell,
+        combine=take_only,
+        to_result=_scalability_to_result,
+        options={"durations": "30,60,120,240"},
+        deterministic=False,
+    )
+)

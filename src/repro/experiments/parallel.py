@@ -1,0 +1,186 @@
+"""Parallel experiment execution over ``multiprocessing`` workers.
+
+Every registered experiment decomposes into independent cells (one per
+scheme, window, application, or interface count — see
+:mod:`repro.experiments.registry`); this module fans those cells out
+over a process pool and folds the results back in cell order, so
+
+* ``jobs=1`` runs every cell in-process, sharing one scenario corpus,
+  one trained pipeline per window, and one
+  :class:`~repro.analysis.batch.WindowCache` per scenario — exactly the
+  sharing the legacy per-module drivers perform, and therefore
+  bit-identical to them;
+* ``jobs=N`` runs cells in worker processes.  Each worker rebuilds the
+  scenario deterministically from :class:`ScenarioParams` (same seed ⇒
+  same corpus ⇒ same trained classifiers, since every stochastic
+  component draws from named RNG streams) and memoizes it per process,
+  so cells that land on the same worker reuse generated traces,
+  trained pipelines, and reshaped flows just like the serial path.
+
+Because cell results are deterministic functions of (cell params,
+seeds), the parallel path reproduces the serial path's numbers exactly
+— same seed ⇒ same report — which the integration tests assert.
+Speed-up scales with physical cores; on a single-core host ``jobs=N``
+degrades gracefully to roughly serial wall-clock plus pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Mapping
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentCell, ScenarioParams
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import EvaluationScenario
+from repro.util.results import ExperimentResult
+
+__all__ = [
+    "clear_worker_state",
+    "default_jobs",
+    "run_experiment",
+    "run_experiment_result",
+    "shared_runner",
+    "shared_scenario",
+    "worker_cached",
+]
+
+# ----------------------------------------------------------------------
+# Per-process shared state
+# ----------------------------------------------------------------------
+
+#: Process-local memo: scenario corpora, experiment runners, and
+#: arbitrary per-experiment caches (e.g. Table VI's timing pipeline),
+#: keyed by picklable descriptors.  In the serial path this plays the
+#: role the module-level scenario/runner objects play in the legacy
+#: drivers; in workers it amortizes corpus generation and classifier
+#: training across the cells each worker executes.
+_WORKER_STATE: dict[object, object] = {}
+
+
+def worker_cached(key: object, build: Callable[[], object]) -> object:
+    """Return the process-local value for ``key``, building it once."""
+    if key not in _WORKER_STATE:
+        _WORKER_STATE[key] = build()
+    return _WORKER_STATE[key]
+
+
+def shared_scenario(params: ScenarioParams) -> EvaluationScenario:
+    """The process-local scenario for ``params`` (corpus generated once)."""
+    return worker_cached(("scenario", params), params.build)
+
+
+def shared_runner(params: ScenarioParams) -> ExperimentRunner:
+    """The process-local :class:`ExperimentRunner` for ``params``.
+
+    Shares trained pipelines, scheme objects, and the
+    :class:`~repro.analysis.batch.WindowCache` across every cell this
+    process executes for the same scenario parameters.
+    """
+    return worker_cached(
+        ("runner", params), lambda: ExperimentRunner(shared_scenario(params))
+    )
+
+
+def clear_worker_state() -> None:
+    """Drop every process-local cache (for benchmarking cold runs)."""
+    _WORKER_STATE.clear()
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this host (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _init_worker() -> None:
+    """Worker initializer: make sure every experiment is registered."""
+    import repro.experiments  # noqa: F401  (imports register all specs)
+
+
+def _execute_cell(payload: tuple[str, ExperimentCell]) -> object:
+    """Run one cell inside a worker (or in-process for the serial path)."""
+    name, cell = payload
+    return registry.get(name).run_cell(cell)
+
+
+def _run_resolved(
+    spec,
+    params: ScenarioParams,
+    resolved: dict[str, object],
+    jobs: int,
+    start_method: str | None,
+) -> object:
+    """Execute a spec whose options are already validated/coerced."""
+    cells = spec.build_cells(params, resolved)
+    if not cells:
+        raise ValueError(f"experiment {spec.name!r} produced no cells")
+    payloads = [(spec.name, cell) for cell in cells]
+    jobs = max(1, min(int(jobs), len(cells)))
+    if jobs == 1:
+        cell_results = [_execute_cell(payload) for payload in payloads]
+    else:
+        context = multiprocessing.get_context(start_method)
+        with context.Pool(processes=jobs, initializer=_init_worker) as pool:
+            # chunksize=1: cells are few and coarse (a full train +
+            # evaluate each); fine-grained dispatch balances the load.
+            cell_results = pool.map(_execute_cell, payloads, chunksize=1)
+    return spec.combine(params, resolved, cell_results)
+
+
+def run_experiment(
+    name: str,
+    params: ScenarioParams | None = None,
+    options: Mapping[str, object] | None = None,
+    jobs: int = 1,
+    start_method: str | None = None,
+) -> object:
+    """Run a registered experiment and return its combined result.
+
+    Args:
+        name: registry name (see :func:`repro.experiments.registry.names`).
+        params: scenario recipe; defaults to the paper-scale
+            :class:`ScenarioParams`.
+        options: experiment-specific overrides (validated against the
+            spec's declared options).
+        jobs: worker processes.  ``1`` (or a single-cell experiment)
+            runs serially in-process; values above the cell count are
+            clamped.
+        start_method: optional ``multiprocessing`` start method
+            (``fork``/``spawn``/``forkserver``); default is the
+            platform's.  Results are identical either way — only
+            worker start-up cost differs.
+
+    Returns:
+        The experiment module's legacy result object (e.g.
+        :class:`~repro.experiments.tables23.AccuracyTable`), identical
+        to what the module's direct entry point produces.
+    """
+    _init_worker()
+    spec = registry.get(name)
+    params = params or ScenarioParams()
+    return _run_resolved(spec, params, spec.resolve_options(options), jobs, start_method)
+
+
+def run_experiment_result(
+    name: str,
+    params: ScenarioParams | None = None,
+    options: Mapping[str, object] | None = None,
+    jobs: int = 1,
+    start_method: str | None = None,
+) -> ExperimentResult:
+    """Run an experiment and render it as a structured artifact."""
+    _init_worker()
+    spec = registry.get(name)
+    params = params or ScenarioParams()
+    resolved = spec.resolve_options(options)
+    combined = _run_resolved(spec, params, resolved, jobs, start_method)
+    return spec.to_result(params, resolved, combined)

@@ -74,11 +74,11 @@ class ExperimentRunner:
         """Attack every application's evaluation sessions under one scheme."""
         pipeline = self.pipeline(window)
         flows_by_label: dict[str, list[Trace]] = {}
-        for app, traces in self.scenario.evaluation_traces().items():
+        for label, traces in self.scenario.evaluation_by_label().items():
             flows: list[Trace] = []
             for trace in traces:
                 flows.extend(self.observable_flows(reshaper, trace))
-            flows_by_label[app.value] = flows
+            flows_by_label[label] = flows
         return pipeline.evaluate_flows(flows_by_label, cache=self._cache)
 
     def schemes(self, interfaces: int = 3) -> dict[str, Reshaper | None]:

@@ -64,7 +64,15 @@ class EvaluationScenario:
     def _generator(self) -> TrafficGenerator:
         return TrafficGenerator(seed=self.seed)
 
-    def training_traces(self) -> dict[str, list[Trace]]:
+    # Both splits expose an AppType-keyed accessor (``*_by_app``) and a
+    # label-keyed accessor (``*_traces`` / ``*_by_label``) so callers
+    # never mix key types.  Every accessor returns a fresh dict of
+    # fresh lists: mutating a returned mapping cannot corrupt the
+    # scenario's corpus.  The Trace objects themselves are shared (they
+    # are treated as immutable and cached by identity downstream, e.g.
+    # by :class:`~repro.analysis.batch.WindowCache`).
+
+    def training_by_app(self) -> dict[AppType, list[Trace]]:
         """Per-app undefended training captures (generated lazily, cached)."""
         if not self._train:
             generator = self._generator()
@@ -73,13 +81,17 @@ class EvaluationScenario:
                     generator.generate(app, self.train_duration, session=s)
                     for s in range(self.train_sessions)
                 ]
-        return {app.value: traces for app, traces in self._train.items()}
+        return {app: list(traces) for app, traces in self._train.items()}
+
+    def training_traces(self) -> dict[str, list[Trace]]:
+        """Training captures keyed by class label (the classifier-facing view)."""
+        return {app.value: traces for app, traces in self.training_by_app().items()}
 
     def evaluation_trace(self, app: AppType, session: int = 0) -> Trace:
         """One held-out evaluation capture of ``app``."""
-        return self.evaluation_traces()[app][session]
+        return self.evaluation_by_app()[app][session]
 
-    def evaluation_traces(self) -> dict[AppType, list[Trace]]:
+    def evaluation_by_app(self) -> dict[AppType, list[Trace]]:
         """Held-out evaluation captures for every app (cached)."""
         if not self._eval:
             generator = self._generator()
@@ -89,4 +101,12 @@ class EvaluationScenario:
                     generator.generate(app, self.eval_duration, session=base + s)
                     for s in range(self.eval_sessions)
                 ]
-        return dict(self._eval)
+        return {app: list(traces) for app, traces in self._eval.items()}
+
+    def evaluation_traces(self) -> dict[AppType, list[Trace]]:
+        """Alias of :meth:`evaluation_by_app` (kept for existing callers)."""
+        return self.evaluation_by_app()
+
+    def evaluation_by_label(self) -> dict[str, list[Trace]]:
+        """Evaluation captures keyed by class label (mirror of training)."""
+        return {app.value: traces for app, traces in self.evaluation_by_app().items()}

@@ -4,6 +4,10 @@ For every application, the downlink (AP -> user) mean packet size and
 mean interarrival time of the original flow and of each of the three
 OR interfaces, with the paper's default configuration (I = 3, ranges
 (0, 232], (232, 1540], (1540, 1576]).
+
+Registered as ``table1``: one cell per application (reshaping one
+evaluation trace and summarizing its per-interface flows is
+independent across applications).
 """
 
 from __future__ import annotations
@@ -12,9 +16,17 @@ from dataclasses import dataclass
 
 from repro.core.engine import ReshapingEngine
 from repro.core.schedulers import OrthogonalReshaper
+from repro.experiments import parallel, registry
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    make_cell,
+)
 from repro.experiments.scenarios import EvaluationScenario
-from repro.traffic.apps import AppType
+from repro.traffic.apps import ALL_APPS, AppType
 from repro.traffic.stats import summarize_trace
+from repro.util.results import ExperimentResult
 
 __all__ = ["Table1Row", "table1_interface_features"]
 
@@ -30,44 +42,121 @@ class Table1Row:
     interface_interarrivals: dict[int, float]
 
 
+def _app_row(
+    scenario: EvaluationScenario,
+    app: AppType,
+    interfaces: int,
+) -> Table1Row:
+    """Table I entry for one application (one independent cell)."""
+    engine = ReshapingEngine(OrthogonalReshaper.paper_default(interfaces))
+    trace = scenario.evaluation_trace(app)
+    original = summarize_trace(trace)
+    result = engine.apply(trace)
+    sizes: dict[int, float] = {}
+    interarrivals: dict[int, float] = {}
+    for iface in range(interfaces):
+        flow = result.flows.get(iface)
+        if flow is None or len(flow) == 0:
+            sizes[iface] = float("nan")
+            interarrivals[iface] = float("nan")
+            continue
+        summary = summarize_trace(flow)
+        sizes[iface] = summary.mean_size
+        interarrivals[iface] = summary.mean_interarrival
+    return Table1Row(
+        app=app.value,
+        original_mean_size=original.mean_size,
+        original_interarrival=original.mean_interarrival,
+        interface_mean_sizes=sizes,
+        interface_interarrivals=interarrivals,
+    )
+
+
 def table1_interface_features(
     scenario: EvaluationScenario | None = None,
     interfaces: int = 3,
 ) -> list[Table1Row]:
     """Regenerate Table I from the evaluation traces."""
     scenario = scenario or EvaluationScenario()
-    engine = ReshapingEngine(OrthogonalReshaper.paper_default(interfaces))
-    rows: list[Table1Row] = []
-    for app in (
-        AppType.BROWSING,
-        AppType.CHATTING,
-        AppType.GAMING,
-        AppType.DOWNLOADING,
-        AppType.UPLOADING,
-        AppType.VIDEO,
-        AppType.BITTORRENT,
-    ):
-        trace = scenario.evaluation_trace(app)
-        original = summarize_trace(trace)
-        result = engine.apply(trace)
-        sizes: dict[int, float] = {}
-        interarrivals: dict[int, float] = {}
-        for iface in range(interfaces):
-            flow = result.flows.get(iface)
-            if flow is None or len(flow) == 0:
-                sizes[iface] = float("nan")
-                interarrivals[iface] = float("nan")
-                continue
-            summary = summarize_trace(flow)
-            sizes[iface] = summary.mean_size
-            interarrivals[iface] = summary.mean_interarrival
-        rows.append(
-            Table1Row(
-                app=app.value,
-                original_mean_size=original.mean_size,
-                original_interarrival=original.mean_interarrival,
-                interface_mean_sizes=sizes,
-                interface_interarrivals=interarrivals,
-            )
+    return [_app_row(scenario, app, interfaces) for app in ALL_APPS]
+
+
+# ----------------------------------------------------------------------
+# Registry integration: one cell per application
+# ----------------------------------------------------------------------
+
+
+def _cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return tuple(
+        make_cell(
+            "table1",
+            f"app={app.value}",
+            {
+                "scenario": params,
+                "app": app.value,
+                "interfaces": int(options["interfaces"]),
+            },
+            params.seed,
         )
-    return rows
+        for app in ALL_APPS
+    )
+
+
+def _run_cell(cell: ExperimentCell) -> Table1Row:
+    scenario = parallel.shared_scenario(cell.params["scenario"])
+    return _app_row(
+        scenario, AppType(cell.params["app"]), int(cell.params["interfaces"])
+    )
+
+
+def _combine(
+    params: ScenarioParams,
+    options: dict[str, object],
+    results: list[Table1Row],
+) -> list[Table1Row]:
+    return list(results)
+
+
+def _to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    rows: list[Table1Row],
+) -> ExperimentResult:
+    interfaces = int(options["interfaces"])
+    headers = ["app", "orig size B", "orig IAT s"]
+    for iface in range(interfaces):
+        headers.extend([f"I{iface} size B", f"I{iface} IAT s"])
+    body = []
+    for row in rows:
+        cells: list[object] = [row.app, row.original_mean_size, row.original_interarrival]
+        for iface in range(interfaces):
+            cells.extend(
+                [row.interface_mean_sizes[iface], row.interface_interarrivals[iface]]
+            )
+        body.append(tuple(cells))
+    return ExperimentResult(
+        experiment="table1",
+        title="Table I — per-interface downlink features under OR",
+        headers=tuple(headers),
+        rows=tuple(body),
+        params={**params.as_dict(), **options},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="table1",
+        title="Table I — per-interface traffic features under OR",
+        description=(
+            "Downlink mean packet size and interarrival of the original flow "
+            "and each OR virtual interface; one cell per application."
+        ),
+        build_cells=_cells,
+        run_cell=_run_cell,
+        combine=_combine,
+        to_result=_to_result,
+        options={"interfaces": 3},
+    )
+)

@@ -18,11 +18,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.attack import AttackPipeline
+from repro.analysis.windows import window_key
 from repro.defenses.morphing import TrafficMorphing
 from repro.defenses.overhead import overhead_percent
 from repro.defenses.padding import PacketPadding
+from repro.experiments import parallel, registry
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    make_cell,
+)
 from repro.experiments.scenarios import EvaluationScenario
 from repro.traffic.apps import AppType
+from repro.traffic.trace import Trace
+from repro.util.results import ExperimentResult
 
 __all__ = ["Table6Result", "table6_efficiency"]
 
@@ -90,6 +100,38 @@ class Table6Result:
         return rows
 
 
+def _app_defenses(
+    scenario: EvaluationScenario,
+    app: AppType,
+) -> tuple[list[Trace], float, float]:
+    """One application's padded flows and per-defense mean overheads."""
+    padding = PacketPadding()
+    morph_pairs = TrafficMorphing.paper_morph_pairs()
+    pad_overheads: list[float] = []
+    morph_overheads: list[float] = []
+    flows: list[Trace] = []
+    for session_index, trace in enumerate(scenario.evaluation_by_app()[app]):
+        defended = padding.apply(trace)
+        pad_overheads.append(overhead_percent(defended))
+        flows.extend(defended.observable_flows)
+
+        target_app = morph_pairs.get(app.value)
+        if target_app is None:
+            morph_overheads.append(0.0)
+        else:
+            morpher = TrafficMorphing(
+                target_trace=scenario.evaluation_trace(AppType(target_app)),
+                seed=scenario.seed + session_index,
+            )
+            morphed = morpher.apply(trace)
+            morph_overheads.append(overhead_percent(morphed))
+    return (
+        flows,
+        sum(pad_overheads) / len(pad_overheads),
+        sum(morph_overheads) / len(morph_overheads),
+    )
+
+
 def table6_efficiency(
     scenario: EvaluationScenario | None = None,
     window: float = 5.0,
@@ -103,33 +145,14 @@ def table6_efficiency(
     )
     pipeline.train(scenario.training_traces())
 
-    padding = PacketPadding()
     accuracy: dict[str, float] = {}
     padding_overhead: dict[str, float] = {}
     morphing_overhead: dict[str, float] = {}
-    morph_pairs = TrafficMorphing.paper_morph_pairs()
-
     flows_by_label: dict[str, list] = {}
     for app in AppType:
-        traces = scenario.evaluation_traces()[app]
-        pad_overheads, morph_overheads, flows = [], [], []
-        for session_index, trace in enumerate(traces):
-            defended = padding.apply(trace)
-            pad_overheads.append(overhead_percent(defended))
-            flows.extend(defended.observable_flows)
-
-            target_app = morph_pairs.get(app.value)
-            if target_app is None:
-                morph_overheads.append(0.0)
-            else:
-                morpher = TrafficMorphing(
-                    target_trace=scenario.evaluation_trace(AppType(target_app)),
-                    seed=scenario.seed + session_index,
-                )
-                morphed = morpher.apply(trace)
-                morph_overheads.append(overhead_percent(morphed))
-        padding_overhead[app.value] = sum(pad_overheads) / len(pad_overheads)
-        morphing_overhead[app.value] = sum(morph_overheads) / len(morph_overheads)
+        flows, pad_mean, morph_mean = _app_defenses(scenario, app)
+        padding_overhead[app.value] = pad_mean
+        morphing_overhead[app.value] = morph_mean
         flows_by_label[app.value] = flows
 
     report = pipeline.evaluate_flows(flows_by_label)
@@ -141,3 +164,108 @@ def table6_efficiency(
         padding_overhead=padding_overhead,
         morphing_overhead=morphing_overhead,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry integration: one cell per application
+#
+# Per-class accuracy depends only on that class's confusion row, so
+# classifying each application's padded flows in its own cell yields
+# exactly the joint evaluation's per-app accuracies.
+# ----------------------------------------------------------------------
+
+
+def _timing_pipeline(params: ScenarioParams, window: float) -> AttackPipeline:
+    """Process-local timing-attack pipeline (trained once per worker)."""
+
+    def build() -> AttackPipeline:
+        scenario = parallel.shared_scenario(params)
+        pipeline = AttackPipeline(
+            window=window,
+            seed=scenario.seed,
+            feature_indices=_TIMING_FEATURES,
+        )
+        return pipeline.train(scenario.training_traces())
+
+    return parallel.worker_cached(
+        ("table6-pipeline", params, window_key(window)), build
+    )
+
+
+def _cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return tuple(
+        make_cell(
+            "table6",
+            f"app={app.value}",
+            {
+                "scenario": params,
+                "app": app.value,
+                "window": float(options["window"]),
+            },
+            params.seed,
+        )
+        for app in AppType
+    )
+
+
+def _run_cell(cell: ExperimentCell) -> tuple[float, float, float]:
+    params = cell.params["scenario"]
+    app = AppType(cell.params["app"])
+    window = float(cell.params["window"])
+    scenario = parallel.shared_scenario(params)
+    pipeline = _timing_pipeline(params, window)
+    flows, pad_mean, morph_mean = _app_defenses(scenario, app)
+    report = pipeline.evaluate_flows({app.value: flows})
+    return report.accuracy_by_class[app.value], pad_mean, morph_mean
+
+
+def _combine(
+    params: ScenarioParams,
+    options: dict[str, object],
+    results: list[tuple[float, float, float]],
+) -> Table6Result:
+    accuracy: dict[str, float] = {}
+    padding_overhead: dict[str, float] = {}
+    morphing_overhead: dict[str, float] = {}
+    for app, (acc, pad_mean, morph_mean) in zip(AppType, results):
+        accuracy[app.value] = acc
+        padding_overhead[app.value] = pad_mean
+        morphing_overhead[app.value] = morph_mean
+    return Table6Result(
+        accuracy=accuracy,
+        padding_overhead=padding_overhead,
+        morphing_overhead=morphing_overhead,
+    )
+
+
+def _to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    result: Table6Result,
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="table6",
+        title="Table VI — timing-attack accuracy % and byte overhead %",
+        headers=("app", "timing acc %", "padding ovh %", "morphing ovh %"),
+        rows=tuple(tuple(row) for row in result.rows()),
+        params={**params.as_dict(), **options},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="table6",
+        title="Table VI — efficiency: padding & morphing vs reshaping",
+        description=(
+            "Timing-attack accuracy (shared by padding/morphing) plus the "
+            "byte overhead of each baseline; one cell per application."
+        ),
+        build_cells=_cells,
+        run_cell=_run_cell,
+        combine=_combine,
+        to_result=_to_result,
+        options={"window": 5.0},
+    )
+)

@@ -2,15 +2,27 @@
 
 Table II evaluates at W = 5 s, Table III at W = 60 s; both report the
 per-application accuracy and the mean for Original / FH / RA / RR / OR.
+
+Registered as ``table2`` and ``table3``: one cell per scheme, so the
+five (train-once, evaluate-scheme) units fan out independently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.analysis.attack import AttackReport
+from repro.experiments import parallel, registry
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    make_cell,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import SCHEME_NAMES, EvaluationScenario
+from repro.util.results import ExperimentResult
 
 __all__ = ["AccuracyTable", "classification_accuracy_table"]
 
@@ -58,3 +70,83 @@ def classification_accuracy_table(
     runner = ExperimentRunner(scenario)
     reports = runner.evaluate_all_schemes(window, interfaces)
     return AccuracyTable(window=window, reports=reports)
+
+
+# ----------------------------------------------------------------------
+# Registry integration: one cell per scheme
+# ----------------------------------------------------------------------
+
+
+def _accuracy_cells(
+    params: ScenarioParams,
+    options: dict[str, object],
+    experiment: str,
+) -> tuple[ExperimentCell, ...]:
+    return tuple(
+        make_cell(
+            experiment,
+            f"scheme={scheme}",
+            {
+                "scenario": params,
+                "scheme": scheme,
+                "window": float(options["window"]),
+                "interfaces": int(options["interfaces"]),
+            },
+            params.seed,
+        )
+        for scheme in SCHEME_NAMES
+    )
+
+
+def _run_accuracy_cell(cell: ExperimentCell) -> AttackReport:
+    runner = parallel.shared_runner(cell.params["scenario"])
+    reshaper = runner.schemes(int(cell.params["interfaces"]))[cell.params["scheme"]]
+    return runner.evaluate_scheme(reshaper, float(cell.params["window"]))
+
+
+def _combine_accuracy(
+    params: ScenarioParams,
+    options: dict[str, object],
+    results: list[AttackReport],
+) -> AccuracyTable:
+    return AccuracyTable(
+        window=float(options["window"]),
+        reports=dict(zip(SCHEME_NAMES, results)),
+    )
+
+
+def _accuracy_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    table: AccuracyTable,
+    experiment: str,
+    title: str,
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment=experiment,
+        title=title,
+        headers=("app", *SCHEME_NAMES),
+        rows=tuple(tuple(row) for row in table.rows()),
+        params={**params.as_dict(), **options},
+    )
+
+
+for _name, _window, _title in (
+    ("table2", 5.0, "Table II — classification accuracy %, W = 5 s"),
+    ("table3", 60.0, "Table III — classification accuracy %, W = 60 s"),
+):
+    registry.register(
+        ExperimentSpec(
+            name=_name,
+            title=_title,
+            description=(
+                "Per-application accuracy of the best attacker under "
+                "Original/FH/RA/RR/OR; one cell per scheme."
+            ),
+            build_cells=partial(_accuracy_cells, experiment=_name),
+            run_cell=_run_accuracy_cell,
+            combine=_combine_accuracy,
+            to_result=partial(_accuracy_result, experiment=_name, title=_title),
+            options={"window": _window, "interfaces": 3},
+        )
+    )

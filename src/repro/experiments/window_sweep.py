@@ -17,8 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.schedulers import OrthogonalReshaper
+from repro.experiments import parallel, registry
+from repro.experiments.registry import (
+    ExperimentCell,
+    ExperimentSpec,
+    ScenarioParams,
+    make_cell,
+    parse_number_list,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
+from repro.util.results import ExperimentResult
 
 __all__ = ["WindowSweepResult", "window_sweep"]
 
@@ -68,3 +77,93 @@ def window_sweep(
         original=tuple(original),
         orthogonal=tuple(orthogonal),
     )
+
+
+# ----------------------------------------------------------------------
+# Registry integration: one cell per (window, scheme)
+#
+# This is the widest deterministic grid (2 schemes x N windows) and the
+# headline target for `repro run window_sweep --jobs N`: every cell
+# trains/evaluates independently, so wall-clock scales with cores.
+# ----------------------------------------------------------------------
+
+
+def _windows(options: dict[str, object]) -> tuple[float, ...]:
+    return parse_number_list(options["windows"])
+
+
+def _grid(options: dict[str, object]) -> tuple[tuple[float, str], ...]:
+    return tuple(
+        (window, scheme)
+        for window in _windows(options)
+        for scheme in ("Original", "OR")
+    )
+
+
+def _cells(
+    params: ScenarioParams, options: dict[str, object]
+) -> tuple[ExperimentCell, ...]:
+    return tuple(
+        make_cell(
+            "window_sweep",
+            f"window={window:g}/scheme={scheme}",
+            {"scenario": params, "window": window, "scheme": scheme},
+            params.seed,
+        )
+        for window, scheme in _grid(options)
+    )
+
+
+def _run_cell(cell: ExperimentCell) -> float:
+    runner = parallel.shared_runner(cell.params["scenario"])
+    if cell.params["scheme"] == "Original":
+        reshaper = None
+    else:
+        reshaper = runner.schemes(3)["OR"]
+    return runner.evaluate_scheme(reshaper, float(cell.params["window"])).mean_accuracy
+
+
+def _combine(
+    params: ScenarioParams,
+    options: dict[str, object],
+    results: list[float],
+) -> WindowSweepResult:
+    by_cell = dict(zip(_grid(options), results))
+    windows = _windows(options)
+    return WindowSweepResult(
+        windows=windows,
+        original=tuple(by_cell[(window, "Original")] for window in windows),
+        orthogonal=tuple(by_cell[(window, "OR")] for window in windows),
+    )
+
+
+def _to_result(
+    params: ScenarioParams,
+    options: dict[str, object],
+    result: WindowSweepResult,
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="window_sweep",
+        title="Eavesdropping-duration sweep — mean accuracy %, Original vs OR",
+        headers=("W (s)", "Original mean %", "OR mean %", "gap"),
+        rows=tuple(tuple(row) for row in result.rows()),
+        params={**params.as_dict(), **options},
+        extras={"or_spread": result.or_spread, "original_gain": result.original_gain},
+    )
+
+
+registry.register(
+    ExperimentSpec(
+        name="window_sweep",
+        title="W-sweep — OR stays flat while the attacker improves elsewhere",
+        description=(
+            "Mean accuracy of Original and OR across eavesdropping windows; "
+            "one cell per (window, scheme) — the widest parallel grid."
+        ),
+        build_cells=_cells,
+        run_cell=_run_cell,
+        combine=_combine,
+        to_result=_to_result,
+        options={"windows": "5,15,30,60"},
+    )
+)

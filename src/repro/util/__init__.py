@@ -1,6 +1,7 @@
-"""Shared utilities: deterministic RNG trees, validation, table rendering."""
+"""Shared utilities: RNG trees, validation, table rendering, artifacts."""
 
-from repro.util.rng import RngFactory, derive_rng
+from repro.util.results import ExperimentResult, json_safe, rows_to_csv
+from repro.util.rng import RngFactory, derive_rng, derive_seed
 from repro.util.tables import format_table
 from repro.util.validation import (
     require,
@@ -10,9 +11,13 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "ExperimentResult",
     "RngFactory",
     "derive_rng",
+    "derive_seed",
     "format_table",
+    "json_safe",
+    "rows_to_csv",
     "require",
     "require_in_range",
     "require_positive",

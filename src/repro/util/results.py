@@ -1,0 +1,144 @@
+"""Structured experiment artifacts: one result, three serializations.
+
+Every registered experiment renders into an :class:`ExperimentResult` —
+a table (headers + rows) plus the parameters that produced it and an
+optional ``extras`` payload for non-tabular series.  The CLI and the
+benchmarks write these as text (aligned ASCII, unchanged from the
+legacy printed tables), JSON (machine-readable, for tooling and
+regression diffing), or CSV (spreadsheet-friendly), so downstream
+consumers never re-parse printed tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.tables import format_table
+
+__all__ = ["ExperimentResult", "json_safe", "rows_to_csv"]
+
+#: Serialization formats understood by :meth:`ExperimentResult.render`.
+FORMATS: tuple[str, ...] = ("text", "json", "csv")
+
+_SUFFIX_FORMATS = {".json": "json", ".csv": "csv", ".txt": "text"}
+
+
+def json_safe(value: object) -> object:
+    """Recursively convert ``value`` into JSON-serializable primitives.
+
+    numpy scalars/arrays become Python numbers/lists, tuples become
+    lists, mapping keys are stringified, and non-finite floats become
+    ``None`` (JSON has no NaN/Infinity).
+    """
+    if isinstance(value, (np.floating, float)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    if isinstance(value, (np.integer, int)) and not isinstance(value, bool):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [json_safe(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    return str(value)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as RFC-4180 CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output: a table plus provenance.
+
+    Args:
+        experiment: registry name that produced the result (``table2``).
+        title: human-readable caption (used by the text rendering).
+        headers: column names.
+        rows: table body; cells may be str/int/float/None.
+        params: the parameters that produced the result (seed, scenario
+            durations, experiment options) — JSON-safe values only.
+        extras: optional non-tabular payload (per-app series, summary
+            scalars); included in the JSON rendering, omitted from
+            text/CSV.
+    """
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    params: Mapping[str, object] = field(default_factory=dict)
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def to_text(self, float_digits: int = 2) -> str:
+        """The aligned ASCII table (same layout as the legacy prints)."""
+        return format_table(
+            list(self.headers),
+            [list(row) for row in self.rows],
+            title=self.title,
+            float_digits=float_digits,
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable rendering with provenance and extras."""
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "params": json_safe(dict(self.params)),
+            "headers": list(self.headers),
+            "rows": json_safe(self.rows),
+            "extras": json_safe(dict(self.extras)),
+        }
+        return json.dumps(payload, indent=indent, allow_nan=False)
+
+    def to_csv(self) -> str:
+        """The table alone as CSV (extras and provenance omitted)."""
+        return rows_to_csv(self.headers, self.rows)
+
+    def render(self, fmt: str = "text") -> str:
+        """Serialize as ``fmt`` — one of ``text``, ``json``, ``csv``."""
+        if fmt == "text":
+            return self.to_text()
+        if fmt == "json":
+            return self.to_json()
+        if fmt == "csv":
+            return self.to_csv()
+        raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+    def write(self, path: str, fmt: str | None = None) -> str:
+        """Write the result to ``path``; infer format from the suffix.
+
+        Returns the format written.  Unknown suffixes default to text
+        unless ``fmt`` is given explicitly.
+        """
+        if fmt is None:
+            for suffix, suffix_fmt in _SUFFIX_FORMATS.items():
+                if path.endswith(suffix):
+                    fmt = suffix_fmt
+                    break
+            else:
+                fmt = "text"
+        text = self.render(fmt)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        return fmt

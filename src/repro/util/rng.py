@@ -15,7 +15,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["derive_rng", "RngFactory"]
+__all__ = ["derive_rng", "derive_seed", "RngFactory"]
 
 
 def _seed_from_path(seed: int, path: tuple[str, ...]) -> int:
@@ -26,6 +26,21 @@ def _seed_from_path(seed: int, path: tuple[str, ...]) -> int:
         digest.update(b"/")
         digest.update(part.encode("utf-8"))
     return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_seed(seed: int, *path: str) -> int:
+    """Return a 64-bit seed deterministically derived from ``seed`` and ``path``.
+
+    A pure function of its arguments — no interpreter, platform, or
+    process-start-method state is involved — so per-cell experiment
+    seeds derived in a parent process match seeds re-derived inside
+    ``fork`` or ``spawn`` workers.
+
+    >>> derive_seed(7, "cell", "table2", "scheme=OR") == derive_seed(
+    ...     7, "cell", "table2", "scheme=OR")
+    True
+    """
+    return _seed_from_path(seed, path)
 
 
 def derive_rng(seed: int, *path: str) -> np.random.Generator:

@@ -1,0 +1,123 @@
+"""Smoke tests for the unified ``repro`` CLI.
+
+Marked ``smoke`` and collected by the tier-1 run, so the CLI cannot
+silently rot: ``repro run --help``, ``repro list``, and one tiny
+experiment run end-to-end on every test pass.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.smoke
+
+#: Tiny-scenario flags shared by the end-to-end runs (seconds, sessions).
+TINY_FLAGS = [
+    "--seed", "5",
+    "--train-duration", "30", "--eval-duration", "20",
+    "--train-sessions", "1", "--eval-sessions", "1",
+]
+
+
+class TestHelp:
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_run_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out and "--set" in out
+
+    def test_parser_builds_without_side_effects(self):
+        assert build_parser().prog == "repro"
+
+
+class TestList:
+    def test_list_names_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "table6", "fig1", "window_sweep"):
+            assert name in out
+
+    def test_list_json_is_parseable(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {"name", "cells", "deterministic", "options", "title"} <= set(entries[0])
+        by_name = {entry["name"]: entry for entry in entries}
+        assert by_name["table2"]["cells"] == 5
+        assert by_name["scalability"]["deterministic"] is False
+
+
+class TestRun:
+    def test_run_table1_end_to_end_text(self, capsys):
+        assert main(["run", "table1", *TINY_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "bittorrent" in out
+
+    def test_run_fig1_json_round_trips(self, capsys):
+        assert (
+            main(["run", "fig1", *TINY_FLAGS, "--set", "duration=5",
+                  "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig1"
+        assert payload["params"]["duration"] == 5.0
+        assert len(payload["rows"]) == 7
+        assert "series" in payload["extras"]
+
+    def test_run_writes_output_file(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.json"
+        assert (
+            main(["run", "fig4", *TINY_FLAGS, "--set", "duration=5",
+                  "--output", str(out_path)])
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "fig4"
+
+    def test_explicit_format_overrides_output_suffix(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.txt"
+        assert (
+            main(["run", "fig4", *TINY_FLAGS, "--set", "duration=5",
+                  "--format", "csv", "--output", str(out_path)])
+            == 0
+        )
+        assert out_path.read_text().startswith("flow,packets,share %")
+
+    def test_unknown_experiment_exits_2_with_catalog(self, capsys):
+        assert main(["run", "table99", *TINY_FLAGS]) == 2
+        err = capsys.readouterr().err
+        assert "table99" in err and "table2" in err
+
+    def test_unknown_option_exits_2(self, capsys):
+        assert main(["run", "fig4", *TINY_FLAGS, "--set", "bogus=1"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_malformed_set_exits_2(self, capsys):
+        assert main(["run", "fig4", *TINY_FLAGS, "--set", "no-equals-sign"]) == 2
+        assert "expected KEY=VALUE" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_serial_only_prints_timing(self, capsys):
+        assert main(["bench", "fig4", *TINY_FLAGS, "--set", "duration=5"]) == 0
+        out = capsys.readouterr().out
+        assert "serial (--jobs 1)" in out
+
+    def test_bench_with_jobs_prints_speedup_row(self, capsys):
+        assert (
+            main(["bench", "fig1", *TINY_FLAGS, "--set", "duration=5",
+                  "--jobs", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallel (--jobs 2)" in out and "speedup" in out

@@ -1,0 +1,86 @@
+"""Tests for the parallel executor's worker-state sharing and serial path."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.registry import ScenarioParams
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table1 import table1_interface_features
+from repro.experiments.fig1 import figure1_cdf_series
+
+TINY = ScenarioParams(
+    seed=5, train_duration=30.0, eval_duration=20.0, train_sessions=1, eval_sessions=1
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_worker_state():
+    parallel.clear_worker_state()
+    yield
+    parallel.clear_worker_state()
+
+
+class TestWorkerState:
+    def test_scenario_memoized_per_params(self):
+        assert parallel.shared_scenario(TINY) is parallel.shared_scenario(TINY)
+        other = ScenarioParams(seed=6, train_duration=30.0, eval_duration=20.0,
+                               train_sessions=1, eval_sessions=1)
+        assert parallel.shared_scenario(TINY) is not parallel.shared_scenario(other)
+
+    def test_runner_memoized_and_wraps_shared_scenario(self):
+        runner = parallel.shared_runner(TINY)
+        assert isinstance(runner, ExperimentRunner)
+        assert runner is parallel.shared_runner(TINY)
+        assert runner.scenario is parallel.shared_scenario(TINY)
+
+    def test_worker_cached_builds_once(self):
+        calls = []
+        build = lambda: calls.append(1) or "value"  # noqa: E731
+        assert parallel.worker_cached("key", build) == "value"
+        assert parallel.worker_cached("key", build) == "value"
+        assert len(calls) == 1
+
+    def test_clear_worker_state_drops_memos(self):
+        scenario = parallel.shared_scenario(TINY)
+        parallel.clear_worker_state()
+        assert parallel.shared_scenario(TINY) is not scenario
+
+    def test_default_jobs_positive(self):
+        assert parallel.default_jobs() >= 1
+
+
+class TestSerialPath:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="registered experiments"):
+            parallel.run_experiment("nope", TINY)
+
+    def test_serial_table1_matches_legacy_entry_point(self):
+        via_registry = parallel.run_experiment("table1", TINY)
+        legacy = table1_interface_features(TINY.build())
+        # repr-level equality is bit-exact for floats and NaN-tolerant
+        # (empty interfaces are NaN, and NaN != NaN under ==).
+        assert repr(via_registry) == repr(legacy)
+
+    def test_serial_fig1_matches_legacy_entry_point(self):
+        via_registry = parallel.run_experiment(
+            "fig1", TINY, options={"duration": 10.0}
+        )
+        legacy = figure1_cdf_series(duration=10.0, seed=TINY.seed)
+        assert set(via_registry) == set(legacy)
+        for app in legacy:
+            for ours, reference in zip(via_registry[app], legacy[app]):
+                np.testing.assert_array_equal(ours, reference)
+
+    def test_option_overrides_reach_cells(self):
+        rows = parallel.run_experiment("table1", TINY, options={"interfaces": 2})
+        assert all(set(row.interface_mean_sizes) == {0, 1} for row in rows)
+
+    def test_result_artifact_carries_provenance(self):
+        result = parallel.run_experiment_result(
+            "fig1", TINY, options={"duration": 10.0}
+        )
+        assert result.experiment == "fig1"
+        assert result.params["seed"] == TINY.seed
+        assert result.params["duration"] == 10.0
+        assert len(result.rows) == 7

@@ -60,3 +60,45 @@ class TestScenario:
         ta = a.training_traces()["gaming"][0]
         tb = b.training_traces()["gaming"][0]
         assert np.array_equal(ta.times, tb.times)
+
+
+class TestAccessorHygiene:
+    """Returned mappings are defensive copies with aligned key types."""
+
+    def test_mutating_evaluation_lists_does_not_corrupt_corpus(self, scenario):
+        first = scenario.evaluation_traces()
+        first[AppType.VIDEO].clear()
+        first[AppType.VIDEO].append("garbage")
+        again = scenario.evaluation_traces()
+        assert len(again[AppType.VIDEO]) == 2
+        assert all(not isinstance(t, str) for t in again[AppType.VIDEO])
+
+    def test_mutating_training_lists_does_not_corrupt_corpus(self, scenario):
+        scenario.training_traces()["video"].clear()
+        assert len(scenario.training_traces()["video"]) == 2
+        scenario.training_by_app()[AppType.VIDEO].clear()
+        assert len(scenario.training_by_app()[AppType.VIDEO]) == 2
+
+    def test_trace_objects_still_shared_for_identity_caching(self, scenario):
+        # Downstream caches (WindowCache) key flows by id(); copies are
+        # of the *containers* only, never of the traces.
+        first = scenario.evaluation_by_app()[AppType.VIDEO][0]
+        second = scenario.evaluation_by_app()[AppType.VIDEO][0]
+        assert first is second
+
+    def test_key_types_aligned_across_splits(self, scenario):
+        assert all(isinstance(k, AppType) for k in scenario.training_by_app())
+        assert all(isinstance(k, AppType) for k in scenario.evaluation_by_app())
+        assert all(isinstance(k, str) for k in scenario.training_traces())
+        assert all(isinstance(k, str) for k in scenario.evaluation_by_label())
+        assert set(scenario.evaluation_by_label()) == set(scenario.training_traces())
+
+    def test_evaluation_traces_is_by_app_alias(self, scenario):
+        alias = scenario.evaluation_traces()
+        direct = scenario.evaluation_by_app()
+        assert set(alias) == set(direct)
+        assert all(
+            a is b
+            for app in alias
+            for a, b in zip(alias[app], direct[app])
+        )

@@ -1,0 +1,109 @@
+"""Tests for structured experiment artifacts (util/results.py)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.results import ExperimentResult, json_safe, rows_to_csv
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment="table2",
+        title="Table II",
+        headers=("app", "Original", "OR"),
+        rows=(("browsing", 37.77, 1.9), ("Mean", 83.24, float("nan"))),
+        params={"seed": 0, "window": 5.0},
+        extras={"note": "unit"},
+    )
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_become_numbers(self):
+        assert json_safe(np.float64(1.5)) == 1.5
+        assert json_safe(np.int32(3)) == 3
+        assert isinstance(json_safe(np.int64(3)), int)
+
+    def test_arrays_and_tuples_become_lists(self):
+        assert json_safe(np.arange(3)) == [0, 1, 2]
+        assert json_safe((1, (2, 3))) == [1, [2, 3]]
+
+    def test_non_finite_floats_become_null(self):
+        assert json_safe(float("nan")) is None
+        assert json_safe(float("inf")) is None
+        assert json_safe(np.float64("nan")) is None
+
+    def test_mapping_keys_stringified(self):
+        assert json_safe({1: "a"}) == {"1": "a"}
+
+    def test_bool_passes_through_unmolested(self):
+        assert json_safe(True) is True
+        assert json_safe(False) is False
+
+    def test_unknown_objects_fall_back_to_str(self):
+        class Odd:
+            def __str__(self):
+                return "odd"
+
+        assert json_safe(Odd()) == "odd"
+
+
+class TestRowsToCsv:
+    def test_round_trips_through_csv_module(self):
+        text = rows_to_csv(["a", "b"], [["x", 1], ["y,z", 2.5]])
+        lines = text.strip().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[2] == '"y,z",2.5'
+
+    def test_none_rendered_empty(self):
+        # A single empty field is quoted ("") so the record stays non-blank.
+        assert rows_to_csv(["a", "b"], [[None, 1]]).strip().split("\n")[1] == ",1"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a", "b"], [["only-one"]])
+
+
+class TestExperimentResult:
+    def test_text_rendering_is_a_table(self, result):
+        text = result.to_text()
+        assert text.startswith("Table II")
+        assert "browsing" in text and "37.77" in text
+        # NaN renders as the tables' usual dash.
+        assert " -" in text.splitlines()[-1]
+
+    def test_json_rendering_is_parseable_with_provenance(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["experiment"] == "table2"
+        assert payload["params"] == {"seed": 0, "window": 5.0}
+        assert payload["headers"] == ["app", "Original", "OR"]
+        assert payload["rows"][0] == ["browsing", 37.77, 1.9]
+        assert payload["rows"][1][2] is None  # NaN -> null
+        assert payload["extras"] == {"note": "unit"}
+
+    def test_csv_rendering_has_header_plus_rows(self, result):
+        lines = result.to_csv().strip().split("\n")
+        assert len(lines) == 3
+        assert lines[0] == "app,Original,OR"
+
+    def test_render_rejects_unknown_format(self, result):
+        with pytest.raises(ValueError, match="unknown format"):
+            result.render("yaml")
+
+    def test_write_infers_format_from_suffix(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        assert result.write(str(path)) == "json"
+        assert json.loads(path.read_text())["experiment"] == "table2"
+
+    def test_write_unknown_suffix_defaults_to_text(self, result, tmp_path):
+        path = tmp_path / "out.dat"
+        assert result.write(str(path)) == "text"
+        assert path.read_text().startswith("Table II")
+
+    def test_write_explicit_format_wins(self, result, tmp_path):
+        path = tmp_path / "out.dat"
+        assert result.write(str(path), fmt="csv") == "csv"
+        assert path.read_text().startswith("app,Original,OR")
