@@ -176,7 +176,33 @@ class AttackPipeline:
             return "untrained"
         return self._classifier.name
 
+    @property
+    def classifier(self) -> Classifier:
+        """The winning fitted classifier (streaming wrappers reuse it)."""
+        if self._classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        return self._classifier
+
+    @property
+    def scaler(self) -> StandardScaler:
+        """The scaler fitted on the training windows."""
+        if self._classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        return self._scaler
+
     # -- evaluation -----------------------------------------------------------
+
+    def transform_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Feature-select and scale raw rows into the classifier's view.
+
+        This is the exact preprocessing :meth:`classify_matrix` applies,
+        exposed so online consumers (:mod:`repro.stream`) feed the
+        classifier bit-identical inputs.
+        """
+        if self._classifier is None:
+            raise RuntimeError("pipeline is not trained")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return self._scaler.transform(self._select_features(matrix))
 
     def classify_matrix(self, matrix: np.ndarray) -> list[str]:
         """Predict an activity label per row of a raw feature matrix.
@@ -191,8 +217,7 @@ class AttackPipeline:
         matrix = np.asarray(matrix, dtype=np.float64)
         if len(matrix) == 0:
             return []
-        x = self._scaler.transform(self._select_features(matrix))
-        predictions = self._classifier.predict(x)
+        predictions = self._classifier.predict(self.transform_matrix(matrix))
         return [self._classes[int(index)] for index in predictions]
 
     def classify_windows(self, windows: list[Trace]) -> list[str]:

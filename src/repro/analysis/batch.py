@@ -22,6 +22,14 @@ No per-window ``Trace`` is materialized and no column is copied.  The
 legacy per-window path is kept as the reference oracle; the property
 tests assert the two paths agree element-for-element.
 
+``_direction_block`` doubles as the shared per-window kernel of the
+streaming engine: :class:`repro.stream.featurizer.StreamingFeaturizer`
+applies it to each closed window's buffered packets with a two-edge
+grid, which is what makes streaming output bit-identical to this
+module's matrices (a ufunc reduction sees the same contiguous float64
+values either way).  Changes to its arithmetic are parity-tested from
+both sides.
+
 :class:`WindowCache` memoizes the two artifacts the experiment drivers
 recompute most — per-flow feature matrices (keyed by flow identity and
 normalized window) and reshaped observable flows (keyed by scheme and

@@ -9,7 +9,7 @@ strongest attacker by validation accuracy — matching the paper's
 "highest accuracy" reporting rule.
 """
 
-from repro.analysis.classifiers.base import Classifier
+from repro.analysis.classifiers.base import Classifier, OnlineClassifier
 from repro.analysis.classifiers.svm import LinearSvm
 from repro.analysis.classifiers.nn import MlpClassifier
 from repro.analysis.classifiers.bayes import GaussianNaiveBayes
@@ -22,6 +22,7 @@ __all__ = [
     "KNearestNeighbors",
     "LinearSvm",
     "MlpClassifier",
+    "OnlineClassifier",
     "best_classifier",
     "default_attackers",
 ]

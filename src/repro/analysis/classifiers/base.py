@@ -1,12 +1,26 @@
-"""Classifier interface (fit on integer-encoded labels, predict indices)."""
+"""Classifier interfaces (fit on integer-encoded labels, predict indices).
+
+Two contracts live here:
+
+* :class:`Classifier` — the batch interface every attacker implements
+  (train once on a full window matrix, then predict).
+* :class:`OnlineClassifier` — a structural protocol for classifiers
+  that can *also* learn incrementally via ``partial_fit``, which is what
+  the streaming evaluation engine (:mod:`repro.stream`) feeds with
+  windows as they close.  It is a :func:`typing.runtime_checkable`
+  protocol rather than a subclass so batch-only classifiers (k-NN, the
+  MLP) stay untouched and callers can gate on
+  ``isinstance(clf, OnlineClassifier)``.
+"""
 
 from __future__ import annotations
 
 import abc
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Classifier"]
+__all__ = ["Classifier", "OnlineClassifier"]
 
 
 class Classifier(abc.ABC):
@@ -22,6 +36,15 @@ class Classifier(abc.ABC):
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Return the predicted class index per row."""
 
+    def _require_fitted(self, *attributes: object) -> None:
+        """Raise the shared not-fitted error when any fitted attribute is None.
+
+        Every prediction entry point (batch and online) guards with this
+        so the error message and type stay uniform across classifiers.
+        """
+        if any(attribute is None for attribute in attributes):
+            raise RuntimeError("classifier is not fitted")
+
     def score(self, x: np.ndarray, y: np.ndarray) -> float:
         """Plain accuracy on ``(x, y)``."""
         predictions = self.predict(x)
@@ -29,3 +52,27 @@ class Classifier(abc.ABC):
         if len(y) == 0:
             return float("nan")
         return float((predictions == y).mean())
+
+
+@runtime_checkable
+class OnlineClassifier(Protocol):
+    """A classifier that can ingest labeled windows incrementally.
+
+    ``partial_fit`` updates the model from one batch of rows without
+    revisiting earlier data; interleaving it with :meth:`predict` gives
+    prequential (predict-then-train) evaluation.  Implementations must
+    keep ``partial_fit`` deterministic in (current state, batch) so
+    streaming experiments reproduce bit-for-bit.
+    """
+
+    name: str
+
+    def partial_fit(
+        self, x: np.ndarray, y: np.ndarray, n_classes: int
+    ) -> "Classifier":
+        """Update the model with rows ``x`` labeled ``y``; returns self."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return the predicted class index per row."""
+        ...

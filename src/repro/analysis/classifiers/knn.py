@@ -36,8 +36,7 @@ class KNearestNeighbors(Classifier):
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        if self._x is None or self._y is None:
-            raise RuntimeError("classifier is not fitted")
+        self._require_fitted(self._x, self._y)
         x = np.asarray(x, dtype=np.float64)
         k = min(self.k, len(self._x))
         out = np.empty(len(x), dtype=np.int64)

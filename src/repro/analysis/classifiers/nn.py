@@ -148,8 +148,7 @@ class MlpClassifier(Classifier):
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities, shape (n_samples, n_classes)."""
-        if self._params is None:
-            raise RuntimeError("classifier is not fitted")
+        self._require_fitted(self._params)
         x = np.asarray(x, dtype=np.float64)
         hidden = np.maximum(x @ self._params["w1"] + self._params["b1"], 0.0)
         logits = hidden @ self._params["w2"] + self._params["b2"]

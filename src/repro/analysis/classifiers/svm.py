@@ -11,6 +11,15 @@ per-class loop this is a few thousand vectorized steps instead of
 millions of interpreted ones, which is what keeps pipeline training off
 the benchmark critical path.  Weight averaging over the second half of
 training stabilizes the decision boundaries on small window datasets.
+
+The Pegasos update is already a minibatch subgradient step, so the SVM
+doubles as an :class:`~repro.analysis.classifiers.base.OnlineClassifier`:
+:meth:`LinearSvm.partial_fit` continues the same 1/(λt) schedule on
+batches as they arrive (no shuffling — online data comes in stream
+order, and no averaging — the live weights are the deployed model).
+A batch :meth:`LinearSvm.fit` hands its final step count to the online
+schedule, so warm-started incremental training resumes with the small
+step sizes of a converged run instead of restarting at η = 1/λ.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ class LinearSvm(Classifier):
         self.seed = int(seed)
         self.weights_: np.ndarray | None = None  # (n_classes, n_features)
         self.bias_: np.ndarray | None = None  # (n_classes,)
+        self._online_step = 0  # Pegasos step counter for partial_fit
 
     def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "LinearSvm":
         x = np.asarray(x, dtype=np.float64)
@@ -100,12 +110,52 @@ class LinearSvm(Classifier):
         else:
             self.weights_ = weights
             self.bias_ = bias
+        self._online_step = step
+        return self
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "LinearSvm":
+        """Continue Pegasos training on one incoming batch of rows.
+
+        The batch is consumed in arrival order (minibatches of
+        ``batch_size``), each advancing the shared step counter.  Call
+        boundaries that fall on ``batch_size`` multiples are invisible —
+        the stream trains exactly like one long call — but a call whose
+        length is not a multiple ends on a short minibatch, so such
+        chunkings take different subgradient steps than one big call
+        (deterministic either way).  Starting from an unfitted model
+        initializes zero weights; starting after :meth:`fit` refines the
+        batch-trained machine in place.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or len(x) == 0:
+            raise ValueError("partial_fit requires a non-empty 2-D batch")
+        if self.weights_ is None:
+            self.weights_ = np.zeros((n_classes, x.shape[1]))
+            self.bias_ = np.zeros(n_classes)
+            self._online_step = 0
+        if self.weights_.shape != (n_classes, x.shape[1]):
+            raise ValueError(
+                f"batch shape {(n_classes, x.shape[1])} does not match "
+                f"fitted weights {self.weights_.shape}"
+            )
+        targets = np.where(y[None, :] == np.arange(n_classes)[:, None], 1.0, -1.0)
+        for start in range(0, len(x), self.batch_size):
+            xb = x[start : start + self.batch_size]
+            tb = targets[:, start : start + self.batch_size]
+            self._online_step += 1
+            eta = 1.0 / (self.regularization * self._online_step)
+            margins = tb * (self.weights_ @ xb.T + self.bias_[:, None])
+            coefficients = np.where(margins < 1.0, tb, 0.0)
+            scale = eta / len(xb)
+            self.weights_ *= 1.0 - eta * self.regularization
+            self.weights_ += scale * (coefficients @ xb)
+            self.bias_ += scale * coefficients.sum(axis=1)
         return self
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         """Per-class margins, shape (n_samples, n_classes)."""
-        if self.weights_ is None or self.bias_ is None:
-            raise RuntimeError("classifier is not fitted")
+        self._require_fitted(self.weights_, self.bias_)
         x = np.asarray(x, dtype=np.float64)
         return x @ self.weights_.T + self.bias_
 

@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output format (default: %(default)s)",
     )
+    list_parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print every experiment's --set options with their "
+        "types and defaults",
+    )
 
     run_parser = commands.add_parser(
         "run", help="run one experiment", description="Run a registered "
@@ -185,19 +190,25 @@ def _prepare_run(args: argparse.Namespace):
 
 def _cmd_list(args: argparse.Namespace) -> int:
     params = ScenarioParams()
+    verbose = getattr(args, "verbose", False)
     entries = []
     for spec in registry.all_specs():
         cells = spec.build_cells(params, spec.resolve_options(None))
         options = ", ".join(f"{k}={v}" for k, v in spec.options.items()) or "-"
-        entries.append(
-            {
-                "name": spec.name,
-                "cells": len(cells),
-                "deterministic": spec.deterministic,
-                "options": options,
-                "title": spec.title,
-            }
-        )
+        entry = {
+            "name": spec.name,
+            "cells": len(cells),
+            "deterministic": spec.deterministic,
+            "options": options,
+            "title": spec.title,
+        }
+        if verbose:
+            entry["option_details"] = [
+                {"name": key, "type": type(value).__name__, "default": value}
+                for key, value in spec.options.items()
+            ]
+            entry["description"] = spec.description
+        entries.append(entry)
     if args.format == "json":
         print(json.dumps(json_safe(entries), indent=2))
         return 0
@@ -213,6 +224,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
             title="Registered experiments (run with: repro run <experiment>)",
         )
     )
+    if verbose:
+        # One block per experiment: the exact --set spellings, so knob
+        # discovery never requires reading the experiment's source.
+        print("\nOptions (override with: repro run <experiment> --set KEY=VALUE)")
+        for entry in entries:
+            print(f"\n{entry['name']} — {entry['description']}")
+            details = entry["option_details"]
+            if not details:
+                print("  (no options)")
+                continue
+            for option in details:
+                print(
+                    f"  --set {option['name']}=<{option['type']}>"
+                    f"  (default: {option['default']})"
+                )
     return 0
 
 

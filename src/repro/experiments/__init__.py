@@ -4,7 +4,8 @@ Each experiment module produces the same rows/series the paper reports
 (see the tables/figures map in the top-level README) and registers itself
 with the experiment registry (:mod:`repro.experiments.registry`) under
 a stable name (``table1`` .. ``table6``, ``fig1``, ``fig4``, ``fig5``,
-``window_sweep``, ``combined``, ``tpc``, ``scalability``).  The
+``window_sweep``, ``combined``, ``tpc``, ``scalability``, plus the
+streaming trio ``stream_replay`` / ``drift`` / ``arms_race``).  The
 registry powers the unified CLI (``repro list`` / ``repro run``) and
 the parallel executor (:mod:`repro.experiments.parallel`), which fans
 an experiment's independent cells out over worker processes while the
@@ -35,16 +36,24 @@ from repro.experiments.discussion import (
     tpc_linking_experiment,
 )
 from repro.experiments.window_sweep import WindowSweepResult, window_sweep
+from repro.experiments.streaming import (
+    ArmsRaceResult,
+    DriftResult,
+    StreamReplayResult,
+)
 from repro.experiments.parallel import run_experiment, run_experiment_result
 from repro.experiments.registry import get as get_experiment
 from repro.experiments.registry import names as experiment_names
 
 __all__ = [
+    "ArmsRaceResult",
+    "DriftResult",
     "EvaluationScenario",
     "ExperimentCell",
     "ExperimentRunner",
     "ExperimentSpec",
     "ScenarioParams",
+    "StreamReplayResult",
     "WindowSweepResult",
     "SCHEME_NAMES",
     "all_specs",

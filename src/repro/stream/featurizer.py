@@ -1,0 +1,263 @@
+"""Online featurization: open eavesdropping windows, closed incrementally.
+
+The batch engine (:func:`repro.analysis.batch.flow_feature_matrix`)
+featurizes a whole flow after the fact; a live eavesdropper cannot.
+:class:`StreamingFeaturizer` maintains one *open window* per flow,
+buffers only the packets of that window, and emits the 12-feature
+vector the moment the window closes (the first packet beyond its edge
+arrives, or the stream ends).
+
+Parity contract — the acceptance bar of the streaming subsystem: for
+any flow, the sequence of emitted vectors is **bit-identical** to the
+rows of ``flow_feature_matrix`` on the same packets.  Three decisions
+make that hold exactly rather than approximately:
+
+* window edges are computed with the same float expression the batch
+  grid uses (``start + k * window``, one IEEE multiply and add), and
+  membership is decided by the same half-open comparisons
+  ``edge[k] <= t < edge[k+1]`` — never by a rounded division;
+* each closed window's features come from the *same kernel*
+  (:func:`repro.analysis.batch._direction_block`) applied to the
+  buffered packets with a two-edge grid.  A ufunc reduction over a
+  window's packets yields the same bits whether the values sit inside a
+  larger array (batch) or in their own buffer (streaming), because the
+  reduction sees identical contiguous float64 values;
+* buffered sizes convert int64→float64 per window exactly as the batch
+  path's whole-column ``astype`` does.
+
+Memory is O(open windows): per flow, only the current window's packets
+are buffered (``peak_open_packets`` tracks the high-water mark), so a
+multi-million-packet capture streams in bounded space — the property
+``benchmarks/bench_stream.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.analysis.batch import _direction_block
+from repro.analysis.features import FEATURE_NAMES
+from repro.traffic.stats import DEFAULT_IDLE_CUTOFF
+from repro.util.validation import require, require_positive
+
+__all__ = ["ClosedWindow", "StreamingFeaturizer"]
+
+_N_FEATURES = len(FEATURE_NAMES)
+
+
+class ClosedWindow(NamedTuple):
+    """One emitted eavesdropping window.
+
+    Attributes:
+        flow: the flow key the window belongs to.
+        index: window index k on the flow's grid (gaps mark silence).
+        start: left edge of the window on the global clock.
+        label: ground truth of the window's most recent packet (None
+            when the stream carries no labels).
+        count: packets observed in the window (both directions).
+        features: the 12-entry vector, bit-identical to the matching
+            ``flow_feature_matrix`` row.
+    """
+
+    flow: object
+    index: int
+    start: float
+    label: str | None
+    count: int
+    features: np.ndarray
+
+
+class _FlowState:
+    """Open-window bookkeeping of one flow."""
+
+    __slots__ = ("start", "index", "count", "label", "last_time", "times", "sizes")
+
+    def __init__(self, start: float):
+        self.start = start  # grid anchor: the flow's first packet time
+        self.index = 0
+        self.count = 0
+        self.label: str | None = None
+        self.last_time = start
+        self.times: tuple[list[float], list[float]] = ([], [])
+        self.sizes: tuple[list[int], list[int]] = ([], [])
+
+    def clear_window(self) -> None:
+        self.count = 0
+        self.label = None  # ground truth is per-window, never inherited
+        self.times = ([], [])
+        self.sizes = ([], [])
+
+
+class StreamingFeaturizer:
+    """Incrementally windows and featurizes many concurrent flows.
+
+    Args:
+        window: the eavesdropping duration W in seconds.
+        min_packets: windows with fewer packets are dropped (matching
+            the batch path's filter).
+
+    Feed it with :meth:`push` (or :meth:`push_event`) in per-flow time
+    order; closed windows are returned as they happen.  Call
+    :meth:`flush` when the capture ends to close the windows still open.
+    """
+
+    def __init__(self, window: float, min_packets: int = 2):
+        require_positive(window, "window")
+        require(min_packets >= 1, "min_packets must be >= 1")
+        self.window = float(window)
+        self.min_packets = int(min_packets)
+        self._idle_cutoff = min(DEFAULT_IDLE_CUTOFF, self.window)
+        self._flows: dict[object, _FlowState] = {}
+        self._open_packets = 0
+        self.windows_emitted = 0
+        self.peak_open_packets = 0
+        self.peak_open_flows = 0
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def open_flows(self) -> int:
+        """Flows with an open window right now."""
+        return len(self._flows)
+
+    @property
+    def open_packets(self) -> int:
+        """Packets currently buffered across all open windows."""
+        return self._open_packets
+
+    # -- ingestion ---------------------------------------------------------
+
+    def push(
+        self,
+        flow: object,
+        time: float,
+        size: int,
+        direction: int,
+        label: str | None = None,
+    ) -> list[ClosedWindow]:
+        """Ingest one packet; return any window this packet closed.
+
+        Packets of one flow must arrive in non-decreasing time order
+        (a merged multi-station stream satisfies this per station by
+        construction); a regression raises instead of corrupting the
+        window grid.
+        """
+        state = self._flows.get(flow)
+        closed: list[ClosedWindow] = []
+        if state is None:
+            state = _FlowState(float(time))
+            self._flows[flow] = state
+            self.peak_open_flows = max(self.peak_open_flows, len(self._flows))
+        else:
+            if time < state.last_time:
+                raise ValueError(
+                    f"flow {flow!r} went backwards in time: {time} after {state.last_time}"
+                )
+            index = self._index_of(float(time), state)
+            if index != state.index:
+                emitted = self._close(flow, state)
+                if emitted is not None:
+                    closed.append(emitted)
+                state.index = index
+        state.last_time = float(time)
+        state.label = label if label is not None else state.label
+        d = int(direction)
+        if 0 <= d <= 1:
+            # Mirrors the batch path: only downlink/uplink packets feed
+            # the per-direction blocks, but every packet counts toward
+            # the min_packets filter.
+            state.times[d].append(float(time))
+            state.sizes[d].append(int(size))
+        state.count += 1
+        self._open_packets += 1
+        if self._open_packets > self.peak_open_packets:
+            self.peak_open_packets = self._open_packets
+        return closed
+
+    def push_event(self, event, flow: object | None = None) -> list[ClosedWindow]:
+        """Ingest a :class:`~repro.stream.source.PacketEvent`.
+
+        The flow key defaults to the event's station — the eavesdropper
+        groups windows by observed identity.
+        """
+        return self.push(
+            flow if flow is not None else event.station,
+            event.time,
+            event.size,
+            event.direction,
+            event.label,
+        )
+
+    def flush(self, flow: object | None = None) -> list[ClosedWindow]:
+        """Close the open window of ``flow`` (or of every flow).
+
+        Flows flush in first-seen order, matching the batch evaluation's
+        per-flow iteration.  Flushed flows forget their grid anchor; a
+        later packet on the same key starts a fresh flow.
+        """
+        keys = list(self._flows) if flow is None else [flow]
+        closed: list[ClosedWindow] = []
+        for key in keys:
+            state = self._flows.pop(key, None)
+            if state is None:
+                continue
+            emitted = self._close(key, state)
+            if emitted is not None:
+                closed.append(emitted)
+        return closed
+
+    # -- internals ---------------------------------------------------------
+
+    def _index_of(self, time: float, state: _FlowState) -> int:
+        """The grid index whose half-open window contains ``time``.
+
+        Mirrors ``searchsorted(times, edges, 'left')`` membership on the
+        batch grid: window k is ``[start + k*W, start + (k+1)*W)`` with
+        edges evaluated in the same float arithmetic, so a packet
+        landing exactly on an edge lands in the same window both ways.
+        The division is only a first guess; the comparisons below are
+        authoritative under float rounding.
+        """
+        window, start = self.window, state.start
+        index = int((time - start) / window)
+        while start + index * window > time:
+            index -= 1
+        while start + (index + 1) * window <= time:
+            index += 1
+        return index
+
+    def _close(self, flow: object, state: _FlowState) -> ClosedWindow | None:
+        """Emit the open window of ``state`` (None when below min_packets)."""
+        count = state.count
+        if count == 0:
+            return None
+        left = state.start + state.index * self.window
+        if count < self.min_packets:
+            state.clear_window()
+            self._open_packets -= count
+            return None
+        edges = np.array([left, state.start + (state.index + 1) * self.window])
+        matrix = np.empty((1, _N_FEATURES), dtype=np.float64)
+        for column, direction in ((0, 0), (6, 1)):
+            _direction_block(
+                np.asarray(state.times[direction], dtype=np.float64),
+                np.asarray(state.sizes[direction], dtype=np.float64),
+                edges,
+                self.window,
+                self._idle_cutoff,
+                matrix[:, column : column + 6],
+            )
+        emitted = ClosedWindow(
+            flow=flow,
+            index=state.index,
+            start=left,
+            label=state.label,
+            count=count,
+            features=matrix[0],
+        )
+        state.clear_window()
+        self._open_packets -= count
+        self.windows_emitted += 1
+        return emitted

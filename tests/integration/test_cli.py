@@ -54,6 +54,29 @@ class TestList:
         assert by_name["table2"]["cells"] == 5
         assert by_name["scalability"]["deterministic"] is False
 
+    def test_list_verbose_spells_out_every_option(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        # Knob discovery without reading source: exact --set spellings
+        # with type and default for every experiment.
+        assert "--set KEY=VALUE" in out
+        assert "--set windows=<str>  (default: 5,15,30,60)" in out
+        assert "--set threshold=<float>  (default: 0.85)" in out
+        assert "--set interfaces=<int>" in out
+
+    def test_list_verbose_json_carries_option_details(self, capsys):
+        assert main(["list", "--verbose", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in entries}
+        details = {
+            option["name"]: option
+            for option in by_name["arms_race"]["option_details"]
+        }
+        assert details["threshold"] == {
+            "name": "threshold", "type": "float", "default": 0.85,
+        }
+        assert by_name["table1"]["option_details"][0]["type"] == "int"
+
 
 class TestRun:
     def test_run_table1_end_to_end_text(self, capsys):

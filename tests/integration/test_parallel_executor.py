@@ -75,6 +75,9 @@ class TestEveryExperimentEquivalent:
         "table5": {"interfaces": "2,3"},
         "window_sweep": {"windows": "5,10"},
         "tpc": {"duration": 8.0, "stations": 2},
+        "stream_replay": {"schemes": "Original,OR"},
+        "drift": {"phase_duration": 15.0},
+        "arms_race": {"threshold": 0.6},
     }
 
     @pytest.mark.parametrize(

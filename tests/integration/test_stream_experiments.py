@@ -1,0 +1,154 @@
+"""End-to-end streaming acceptance: parity with batch, CLI arms race.
+
+The subsystem's acceptance bars, verbatim:
+
+* for a deterministic scenario, an ``OnlineAttack`` over a
+  ``PacketStream`` replay produces the same window predictions
+  bit-for-bit as the batch ``AttackPipeline.evaluate_flows`` path given
+  identical training data and window boundaries;
+* ``repro run arms_race`` completes end-to-end under both serial and
+  ``--jobs 2`` execution with identical results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import parallel
+from repro.experiments.registry import ScenarioParams
+from repro.experiments.runner import ExperimentRunner
+from repro.stream import OnlineAttack, PacketStream
+
+TINY = ScenarioParams(
+    seed=5, train_duration=30.0, eval_duration=20.0, train_sessions=1, eval_sessions=1
+)
+
+TINY_FLAGS = [
+    "--seed", "5",
+    "--train-duration", "30", "--eval-duration", "20",
+    "--train-sessions", "1", "--eval-sessions", "1",
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_worker_state():
+    parallel.clear_worker_state()
+    yield
+    parallel.clear_worker_state()
+
+
+class TestStreamingParity:
+    """Online evaluation over a replayed capture == the batch pipeline."""
+
+    @pytest.mark.parametrize("scheme", ["Original", "OR", "RR"])
+    def test_window_predictions_match_evaluate_flows(self, scheme):
+        runner = ExperimentRunner(TINY.build())
+        pipeline = runner.pipeline(5.0)
+        reshaper = runner.schemes(3)[scheme]
+
+        flows_by_label = {}
+        streams = []
+        for label, traces in runner.scenario.evaluation_by_label().items():
+            flows = []
+            for trace in traces:
+                flows.extend(runner.observable_flows(reshaper, trace))
+            flows_by_label[label] = flows
+            streams.extend(
+                PacketStream.replay(flow, station=f"{label}/f{index}", label=label)
+                for index, flow in enumerate(flows)
+            )
+
+        attacker = OnlineAttack.from_pipeline(pipeline)
+        attacker.consume(PacketStream.merge(streams))
+        batch = pipeline.evaluate_flows(flows_by_label, cache=runner.window_cache)
+
+        streaming = attacker.report()
+        assert streaming.confusion.classes == batch.confusion.classes
+        np.testing.assert_array_equal(
+            streaming.confusion.matrix, batch.confusion.matrix
+        )
+        assert streaming.mean_accuracy == batch.mean_accuracy
+
+    def test_per_window_prediction_sequences_match(self):
+        """Stronger than matrix equality: flow-by-flow label sequences."""
+        runner = ExperimentRunner(TINY.build())
+        pipeline = runner.pipeline(5.0)
+        reshaper = runner.schemes(3)["OR"]
+        from repro.analysis.batch import flow_feature_matrix
+
+        for label, traces in runner.scenario.evaluation_by_label().items():
+            for trace in traces:
+                for index, flow in enumerate(runner.observable_flows(reshaper, trace)):
+                    attacker = OnlineAttack.from_pipeline(pipeline)
+                    attacker.consume(
+                        PacketStream.replay(flow, station="f", label=label)
+                    )
+                    expected = pipeline.classify_matrix(
+                        flow_feature_matrix(flow, 5.0, 2)
+                    )
+                    assert [p.predicted for p in attacker.predictions] == expected
+
+
+class TestStreamReplayExperiment:
+    def test_every_scheme_reports_parity(self):
+        result = parallel.run_experiment("stream_replay", TINY)
+        for scheme in result.schemes:
+            assert result.identical(scheme), f"{scheme} diverged from batch"
+
+    def test_serial_matches_jobs2(self):
+        serial = parallel.run_experiment_result("stream_replay", TINY)
+        parallel.clear_worker_state()
+        fanned = parallel.run_experiment_result("stream_replay", TINY, jobs=2)
+        assert json.loads(serial.to_json()) == json.loads(fanned.to_json())
+
+
+class TestDriftExperiment:
+    def test_online_mode_actually_trains(self):
+        result = parallel.run_experiment(
+            "drift", TINY, options={"phase_duration": 20.0}
+        )
+        assert result.trained["frozen"] == 0
+        assert result.trained["online"] > 0
+        assert result.windows["frozen"] == result.windows["online"]
+
+    def test_bayes_learner_runs(self):
+        result = parallel.run_experiment(
+            "drift", TINY, options={"phase_duration": 15.0, "learner": "bayes"}
+        )
+        assert result.trained["online"] > 0
+
+
+class TestArmsRaceEndToEnd:
+    """Acceptance: `repro run arms_race` serial == --jobs 2."""
+
+    @pytest.mark.smoke
+    def test_cli_serial_and_jobs2_identical(self, capsys, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        fanned_path = tmp_path / "fanned.json"
+        assert (
+            main(["run", "arms_race", *TINY_FLAGS, "--set", "threshold=0.6",
+                  "--output", str(serial_path)])
+            == 0
+        )
+        parallel.clear_worker_state()
+        assert (
+            main(["run", "arms_race", *TINY_FLAGS, "--set", "threshold=0.6",
+                  "--jobs", "2", "--output", str(fanned_path)])
+            == 0
+        )
+        serial = json.loads(serial_path.read_text())
+        fanned = json.loads(fanned_path.read_text())
+        assert serial == fanned
+        assert [row[0] for row in serial["rows"]] == ["static", "adaptive"]
+
+    def test_adaptive_row_shows_the_loop_ran(self):
+        result = parallel.run_experiment(
+            "arms_race", TINY, options={"threshold": 0.5, "cooldown": 5.0}
+        )
+        static = result.outcomes["static"]
+        adaptive = result.outcomes["adaptive"]
+        assert static.reallocations == 0
+        assert adaptive.reallocations > 0
+        assert adaptive.flows_observed > static.flows_observed

@@ -140,3 +140,109 @@ class TestSelection:
         x, y = _blobs(rng)
         with pytest.raises(ValueError):
             best_classifier([], x, y, 3)
+
+
+class TestOnlineClassifierProtocol:
+    def test_membership_is_structural(self):
+        from repro.analysis.classifiers import OnlineClassifier
+
+        assert isinstance(LinearSvm(), OnlineClassifier)
+        assert isinstance(GaussianNaiveBayes(), OnlineClassifier)
+        assert not isinstance(MlpClassifier(), OnlineClassifier)
+        assert not isinstance(KNearestNeighbors(), OnlineClassifier)
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: LinearSvm(seed=0), lambda: GaussianNaiveBayes()],
+        ids=["svm", "bayes"],
+    )
+    def test_partial_fit_rejects_empty_batch(self, factory):
+        with pytest.raises(ValueError):
+            factory().partial_fit(np.zeros((0, 6)), np.zeros(0, dtype=int), 3)
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: LinearSvm(seed=0), lambda: GaussianNaiveBayes()],
+        ids=["svm", "bayes"],
+    )
+    def test_partial_fit_rejects_shape_drift(self, factory, rng):
+        x, y = _blobs(rng)
+        classifier = factory().partial_fit(x, y, 3)
+        with pytest.raises(ValueError):
+            classifier.partial_fit(x[:, :4], y, 3)
+
+
+class TestBayesPartialFit:
+    def test_streaming_learns_blobs(self, rng):
+        x, y = _blobs(rng)
+        bayes = GaussianNaiveBayes()
+        for start in range(0, len(x), 16):
+            bayes.partial_fit(x[start : start + 16], y[start : start + 16], 3)
+        assert bayes.score(x, y) > 0.95
+
+    def test_batching_is_irrelevant(self, rng):
+        """Sufficient statistics make the model chunking-invariant."""
+        x, y = _blobs(rng)
+        one_shot = GaussianNaiveBayes().partial_fit(x, y, 3)
+        chunked = GaussianNaiveBayes()
+        for start in range(0, len(x), 7):
+            chunked.partial_fit(x[start : start + 7], y[start : start + 7], 3)
+        np.testing.assert_allclose(chunked.means_, one_shot.means_, rtol=1e-9)
+        np.testing.assert_allclose(chunked.variances_, one_shot.variances_, rtol=1e-9)
+        np.testing.assert_array_equal(chunked.log_priors_, one_shot.log_priors_)
+
+    def test_partial_fit_agrees_with_batch_fit(self, rng):
+        x, y = _blobs(rng)
+        batch = GaussianNaiveBayes().fit(x, y, 3)
+        online = GaussianNaiveBayes().partial_fit(x, y, 3)
+        np.testing.assert_allclose(online.means_, batch.means_, rtol=1e-9)
+        np.testing.assert_allclose(online.variances_, batch.variances_, rtol=1e-6)
+        assert np.array_equal(online.predict(x), batch.predict(x))
+
+    def test_fit_seeds_the_streaming_statistics(self, rng):
+        """fit() then partial_fit() equals partial_fit() twice, exactly."""
+        x, y = _blobs(rng)
+        half = len(x) // 2
+        warm = GaussianNaiveBayes().fit(x[:half], y[:half], 3)
+        warm.partial_fit(x[half:], y[half:], 3)
+        cold = GaussianNaiveBayes()
+        cold.partial_fit(x[:half], y[:half], 3)
+        cold.partial_fit(x[half:], y[half:], 3)
+        np.testing.assert_array_equal(warm.means_, cold.means_)
+        np.testing.assert_array_equal(warm.variances_, cold.variances_)
+        np.testing.assert_array_equal(warm.log_priors_, cold.log_priors_)
+
+    def test_rejects_out_of_range_labels(self, rng):
+        x, y = _blobs(rng)
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().partial_fit(x, y + 5, 3)
+
+
+class TestSvmPartialFit:
+    def test_streaming_learns_blobs(self, rng):
+        x, y = _blobs(rng)
+        svm = LinearSvm(seed=0)
+        for _ in range(20):  # several passes, fed in stream-sized slices
+            for start in range(0, len(x), 32):
+                svm.partial_fit(x[start : start + 32], y[start : start + 32], 3)
+        assert svm.score(x, y) > 0.9
+
+    def test_call_boundaries_do_not_matter_on_batch_multiples(self, rng):
+        """Chunking into batch_size multiples reproduces one big call."""
+        x, y = _blobs(rng)
+        one_call = LinearSvm(seed=0, batch_size=30).partial_fit(x[:240], y[:240], 3)
+        chunked = LinearSvm(seed=0, batch_size=30)
+        for start in range(0, 240, 60):
+            chunked.partial_fit(x[start : start + 60], y[start : start + 60], 3)
+        np.testing.assert_array_equal(chunked.weights_, one_call.weights_)
+        np.testing.assert_array_equal(chunked.bias_, one_call.bias_)
+
+    def test_warm_start_continues_the_schedule(self, rng):
+        x, y = _blobs(rng)
+        svm = LinearSvm(seed=0, epochs=10).fit(x, y, 3)
+        steps_after_fit = svm._online_step
+        assert steps_after_fit > 0
+        before = svm.weights_.copy()
+        svm.partial_fit(x[:16], y[:16], 3)
+        assert svm._online_step == steps_after_fit + 1
+        # A converged schedule takes small steps: refinement, not reset.
+        assert np.abs(svm.weights_ - before).max() < np.abs(before).max()
+        assert svm.score(x, y) > 0.9

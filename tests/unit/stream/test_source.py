@@ -1,0 +1,103 @@
+"""Tests for packet streams: replay order, merge determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.stream import PacketEvent, PacketStream
+from repro.traffic.trace import Trace, merge_traces
+
+
+def _trace(times, sizes=None, directions=None, label=None):
+    times = list(times)
+    return Trace.from_arrays(
+        times,
+        sizes if sizes is not None else [100] * len(times),
+        directions if directions is not None else [0] * len(times),
+        label=label,
+    )
+
+
+class TestReplay:
+    def test_yields_every_packet_in_order(self):
+        trace = _trace([0.0, 0.5, 1.5], sizes=[10, 20, 30], directions=[0, 1, 0])
+        events = list(PacketStream.replay(trace, station="a"))
+        assert [e.time for e in events] == [0.0, 0.5, 1.5]
+        assert [e.size for e in events] == [10, 20, 30]
+        assert [e.direction for e in events] == [0, 1, 0]
+        assert all(e.station == "a" for e in events)
+
+    def test_label_defaults_to_trace_label(self):
+        trace = _trace([0.0], label="browsing")
+        (event,) = list(PacketStream.replay(trace))
+        assert event.label == "browsing"
+        (event,) = list(PacketStream.replay(trace, label="other"))
+        assert event.label == "other"
+
+    def test_offset_shifts_timestamps(self):
+        trace = _trace([0.0, 1.0])
+        events = list(PacketStream.replay(trace, offset=10.0))
+        assert [e.time for e in events] == [10.0, 11.0]
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(PacketStream.replay(Trace.empty())) == []
+
+    def test_replay_is_lazy(self):
+        """The stream is a cursor; consuming one event reads one packet."""
+        trace = _trace(np.arange(1000, dtype=float))
+        iterator = iter(PacketStream.replay(trace))
+        assert next(iterator).time == 0.0  # no full materialization needed
+
+
+class TestMerge:
+    def test_global_time_order_matches_merge_traces(self):
+        first = _trace([0.0, 1.0, 4.0], sizes=[1, 2, 3])
+        second = _trace([0.5, 1.0, 2.0], sizes=[4, 5, 6])
+        merged = list(
+            PacketStream.merge(
+                [PacketStream.replay(first, "a"), PacketStream.replay(second, "b")]
+            )
+        )
+        reference = merge_traces([first, second])
+        assert [e.time for e in merged] == list(reference.times)
+        assert [e.size for e in merged] == list(reference.sizes)
+
+    def test_ties_break_by_stream_order(self):
+        first = _trace([1.0], sizes=[1])
+        second = _trace([1.0], sizes=[2])
+        merged = list(
+            PacketStream.merge(
+                [PacketStream.replay(first, "a"), PacketStream.replay(second, "b")]
+            )
+        )
+        assert [e.station for e in merged] == ["a", "b"]
+
+    def test_many_stations_interleave(self):
+        streams = [
+            PacketStream.replay(_trace(np.arange(50) * 3.0 + offset), f"s{offset}")
+            for offset in range(5)
+        ]
+        merged = list(PacketStream.merge(streams))
+        assert len(merged) == 250
+        times = [e.time for e in merged]
+        assert times == sorted(times)
+
+    def test_merge_requires_a_stream(self):
+        with pytest.raises(ValueError):
+            PacketStream.merge([])
+
+
+class TestValidation:
+    def test_backwards_stream_raises(self):
+        events = [
+            PacketEvent(1.0, 10, 0, "a", None),
+            PacketEvent(0.5, 10, 0, "a", None),
+        ]
+        with pytest.raises(ValueError, match="backwards"):
+            list(PacketStream(events))
+
+    def test_equal_timestamps_are_fine(self):
+        events = [
+            PacketEvent(1.0, 10, 0, "a", None),
+            PacketEvent(1.0, 10, 0, "a", None),
+        ]
+        assert len(list(PacketStream(events))) == 2
