@@ -16,6 +16,11 @@ Commands:
   report); it only changes wall-clock.
 * ``repro bench window_sweep --jobs 4`` — time the serial path against
   the parallel path from cold caches and print the speedup.
+* ``repro corpus build|info|run`` — persist a scenario's traffic as a
+  columnar on-disk trace store (``docs/trace-format.md``), inspect it,
+  and execute any registered experiment against it (``repro run <exp>
+  --corpus PATH`` is equivalent); workers open the store read-only and
+  replay it zero-copy instead of regenerating traffic.
 
 Scenario scale flags (``--seed``, ``--train-duration``,
 ``--eval-duration``, ``--train-sessions``, ``--eval-sessions``) select
@@ -46,34 +51,46 @@ __all__ = ["build_parser", "main"]
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    # Defaults are None sentinels (filled from ScenarioParams after
+    # parsing) so "explicitly passed" is distinguishable from
+    # "defaulted" — the --corpus conflict check needs the difference.
     defaults = ScenarioParams()
     group = parser.add_argument_group("scenario scale")
     group.add_argument(
-        "--seed", type=int, default=defaults.seed,
-        help="root seed for traces, classifiers, and schedulers (default: %(default)s)",
+        "--seed", type=int, default=None,
+        help="root seed for traces, classifiers, and schedulers "
+        f"(default: {defaults.seed})",
     )
     group.add_argument(
-        "--train-duration", type=float, default=defaults.train_duration,
+        "--train-duration", type=float, default=None,
         metavar="SECONDS",
-        help="training capture length per session (default: %(default)s)",
+        help="training capture length per session "
+        f"(default: {defaults.train_duration})",
     )
     group.add_argument(
-        "--eval-duration", type=float, default=defaults.eval_duration,
+        "--eval-duration", type=float, default=None,
         metavar="SECONDS",
-        help="held-out capture length per session (default: %(default)s)",
+        help="held-out capture length per session "
+        f"(default: {defaults.eval_duration})",
     )
     group.add_argument(
-        "--train-sessions", type=int, default=defaults.train_sessions,
-        metavar="N", help="training captures per app (default: %(default)s)",
+        "--train-sessions", type=int, default=None,
+        metavar="N", help=f"training captures per app (default: {defaults.train_sessions})",
     )
     group.add_argument(
-        "--eval-sessions", type=int, default=defaults.eval_sessions,
-        metavar="N", help="held-out captures per app (default: %(default)s)",
+        "--eval-sessions", type=int, default=None,
+        metavar="N", help=f"held-out captures per app (default: {defaults.eval_sessions})",
     )
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("experiment", help="registered experiment name (see `repro list`)")
+    parser.add_argument(
+        "--corpus", metavar="PATH", default=None,
+        help="run against a persisted trace corpus (see `repro corpus "
+        "build`) instead of regenerating traffic; scenario scale comes "
+        "from the corpus manifest",
+    )
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for independent cells; 0 = one per CPU "
@@ -139,6 +156,70 @@ def build_parser() -> argparse.ArgumentParser:
     # Unlike `run`, a bare `repro bench <exp>` should actually compare:
     # default to one worker per CPU rather than serial-only.
     bench_parser.set_defaults(jobs=0)
+
+    corpus_parser = commands.add_parser(
+        "corpus", help="build, inspect, and run against on-disk corpora",
+        description="Persist a scenario's traffic as a columnar trace "
+        "store (docs/trace-format.md), inspect one, or execute a "
+        "registered experiment against it without regenerating traffic.",
+    )
+    corpus_commands = corpus_parser.add_subparsers(
+        dest="corpus_command", required=True
+    )
+
+    build_parser_ = corpus_commands.add_parser(
+        "build", help="generate a scenario's traffic and persist it",
+        description="Generate the scenario corpus (training + evaluation "
+        "splits) and write it as a columnar trace store at PATH.",
+    )
+    build_parser_.add_argument("path", help="store directory to create")
+    build_parser_.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store at PATH",
+    )
+    _add_scenario_arguments(build_parser_)
+
+    info_parser = corpus_commands.add_parser(
+        "info", help="summarize a persisted corpus",
+        description="Print a store's provenance and per-application "
+        "trace/packet counts from its manifest.",
+    )
+    info_parser.add_argument("path", help="store directory to inspect")
+    info_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
+    )
+
+    corpus_run_parser = corpus_commands.add_parser(
+        "run", help="run an experiment against a persisted corpus",
+        description="Equivalent to `repro run EXPERIMENT --corpus PATH`: "
+        "scenario scale comes from the corpus manifest.",
+    )
+    corpus_run_parser.add_argument(
+        "experiment", help="registered experiment name (see `repro list`)"
+    )
+    corpus_run_parser.add_argument("path", help="store directory to run against")
+    corpus_run_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for independent cells; 0 = one per CPU "
+        "(default: %(default)s, serial)",
+    )
+    corpus_run_parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method (default: platform default)",
+    )
+    corpus_run_parser.add_argument(
+        "--set", dest="options", action="append", default=[], metavar="KEY=VALUE",
+        help="override an experiment option (repeatable)",
+    )
+    corpus_run_parser.add_argument(
+        "--format", choices=FORMATS, default=None,
+        help="output format (default: text)",
+    )
+    corpus_run_parser.add_argument(
+        "--output", "-o", metavar="PATH", default=None,
+        help="also write the result to PATH",
+    )
     return parser
 
 
@@ -156,13 +237,41 @@ def _parse_overrides(pairs: Sequence[str]) -> dict[str, str]:
     return overrides
 
 
+_SCENARIO_FIELDS = (
+    "seed", "train_duration", "eval_duration",
+    "train_sessions", "eval_sessions",
+)
+
+
 def _scenario_params(args: argparse.Namespace) -> ScenarioParams:
+    corpus = getattr(args, "corpus", None)
+    if corpus is not None:
+        try:
+            params = ScenarioParams.for_corpus(corpus)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise _UsageError(f"cannot use corpus {corpus}: {error}") from error
+        # Scenario scale is frozen into the corpus; any explicitly
+        # passed flag that disagrees with the manifest is a mistake,
+        # not an override (even when its value equals the built-in
+        # default — hence the None sentinels above).
+        for name in _SCENARIO_FIELDS:
+            given = getattr(args, name, None)
+            if given is not None and given != getattr(params, name):
+                flag = "--" + name.replace("_", "-")
+                raise _UsageError(
+                    f"{flag} {given} conflicts with the corpus at {corpus} "
+                    f"(stored: {getattr(params, name)}); drop the flag or "
+                    "rebuild the corpus"
+                )
+        return params
+    defaults = ScenarioParams()
     return ScenarioParams(
-        seed=args.seed,
-        train_duration=args.train_duration,
-        eval_duration=args.eval_duration,
-        train_sessions=args.train_sessions,
-        eval_sessions=args.eval_sessions,
+        **{
+            name: getattr(defaults, name)
+            if getattr(args, name, None) is None
+            else getattr(args, name)
+            for name in _SCENARIO_FIELDS
+        }
     )
 
 
@@ -309,6 +418,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_summary_rows(store) -> list[list[object]]:
+    """Per-(role, label) trace/packet counts, in store order."""
+    grouped: dict[tuple[str, str], list[int]] = {}
+    for entry in store.entries():
+        key = (entry.role or "-", entry.label or "-")
+        counts = grouped.setdefault(key, [0, 0])
+        counts[0] += 1
+        counts[1] += entry.count
+    return [
+        [role, label, traces, packets]
+        for (role, label), (traces, packets) in grouped.items()
+    ]
+
+
+def _print_corpus_summary(store, fmt: str = "text") -> None:
+    recipe = store.scenario or {}
+    if fmt == "json":
+        payload = {
+            "path": store.path,
+            "packets": store.packets,
+            "traces": len(store),
+            "bytes": store.nbytes,
+            "scenario": recipe,
+            "splits": [
+                {"role": row[0], "label": row[1], "traces": row[2], "packets": row[3]}
+                for row in _corpus_summary_rows(store)
+            ],
+        }
+        print(json.dumps(json_safe(payload), indent=2))
+        return
+    scale = ", ".join(f"{key}={value}" for key, value in recipe.items()) or "none"
+    print(
+        format_table(
+            ["role", "label", "traces", "packets"],
+            _corpus_summary_rows(store),
+            title=f"Corpus {store.path} — {len(store)} traces, "
+            f"{store.packets} packets, {store.nbytes / 1e6:.1f} MB "
+            f"(scenario: {scale})",
+        )
+    )
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.storage import StoreFormatError, TraceStore
+
+    if args.corpus_command == "build":
+        params = _scenario_params(args)
+        # The process-local memo means a build right after (or before) a
+        # `repro run` at the same scale generates the corpus only once.
+        from repro.experiments.parallel import shared_scenario
+
+        try:
+            store = shared_scenario(params).save_corpus(
+                args.path, overwrite=args.overwrite
+            )
+        except FileExistsError as error:
+            raise _UsageError(str(error)) from error
+        _print_corpus_summary(store)
+        return 0
+    if args.corpus_command == "info":
+        try:
+            store = TraceStore.open(args.path)
+        except (OSError, StoreFormatError) as error:
+            raise _UsageError(str(error)) from error
+        _print_corpus_summary(store, fmt=args.format)
+        return 0
+    if args.corpus_command == "run":
+        args.corpus = args.path
+        return _cmd_run(args)
+    raise AssertionError(
+        f"unhandled corpus command {args.corpus_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -320,6 +503,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "corpus":
+            return _cmd_corpus(args)
     except _UsageError as error:
         # Only pre-execution validation errors are caught; a failure
         # during execution is a bug and keeps its traceback.

@@ -31,7 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field, fields
 
-from repro.experiments.scenarios import EvaluationScenario
+from repro.experiments.scenarios import EvaluationScenario, recipe_scalars
 from repro.util.results import ExperimentResult
 from repro.util.rng import derive_seed
 
@@ -75,6 +75,15 @@ class ScenarioParams:
     state, so it never crosses a process boundary; workers rebuild it
     from these parameters (deterministically — same seed, same corpus)
     and memoize it per process.
+
+    When ``corpus`` is set, the scenario hydrates from that on-disk
+    :class:`~repro.storage.TraceStore` instead of regenerating traffic:
+    only the path crosses the process boundary, and each worker opens
+    the store read-only (memory-mapped).  The scalar fields must match
+    the recipe stored in the corpus manifest — :meth:`build` verifies
+    this, so a cell's derived seeds can never silently disagree with
+    the traces it evaluates.  Use :meth:`for_corpus` to construct a
+    matching recipe straight from a store.
     """
 
     seed: int = 0
@@ -82,9 +91,47 @@ class ScenarioParams:
     eval_duration: float = 300.0
     train_sessions: int = 4
     eval_sessions: int = 4
+    corpus: str | None = None
+
+    @classmethod
+    def for_corpus(cls, path: str) -> "ScenarioParams":
+        """The params recorded in the corpus manifest at ``path``."""
+        from repro.storage import load_manifest
+
+        recipe = load_manifest(str(path)).get("scenario")
+        if recipe is None:
+            raise ValueError(
+                f"store at {path!r} carries no scenario recipe; build it "
+                "with `repro corpus build` (or EvaluationScenario.save_corpus)"
+            )
+        return cls(**recipe_scalars(recipe), corpus=str(path))
 
     def build(self) -> EvaluationScenario:
-        """Materialize the (lazily generating) scenario."""
+        """Materialize the scenario (hydrated from disk, or lazily generating)."""
+        if self.corpus is not None:
+            scenario = EvaluationScenario.from_store(self.corpus)
+            mismatched = [
+                (name, getattr(self, name), getattr(scenario, name))
+                for name in (
+                    "seed",
+                    "train_duration",
+                    "eval_duration",
+                    "train_sessions",
+                    "eval_sessions",
+                )
+                if getattr(self, name) != getattr(scenario, name)
+            ]
+            if mismatched:
+                detail = ", ".join(
+                    f"{name}={mine!r} vs stored {theirs!r}"
+                    for name, mine, theirs in mismatched
+                )
+                raise ValueError(
+                    f"scenario params disagree with the corpus at "
+                    f"{self.corpus!r}: {detail}; use "
+                    "ScenarioParams.for_corpus() to match the store"
+                )
+            return scenario
         return EvaluationScenario(
             seed=self.seed,
             train_duration=self.train_duration,

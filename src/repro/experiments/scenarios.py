@@ -21,7 +21,23 @@ from repro.traffic.apps import ALL_APPS, AppType
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.trace import Trace
 
-__all__ = ["SCHEME_NAMES", "build_schemes", "EvaluationScenario"]
+__all__ = ["SCHEME_NAMES", "build_schemes", "recipe_scalars", "EvaluationScenario"]
+
+
+def recipe_scalars(recipe: dict) -> dict:
+    """The scalar scenario fields of a corpus manifest recipe.
+
+    Single parsing point shared by :meth:`EvaluationScenario.from_store`
+    and :meth:`~repro.experiments.registry.ScenarioParams.for_corpus`,
+    so a new scenario field cannot drift between the two.
+    """
+    return {
+        "seed": int(recipe["seed"]),
+        "train_duration": float(recipe["train_duration"]),
+        "eval_duration": float(recipe["eval_duration"]),
+        "train_sessions": int(recipe["train_sessions"]),
+        "eval_sessions": int(recipe["eval_sessions"]),
+    }
 
 #: Column order of Tables II/III.
 SCHEME_NAMES: tuple[str, ...] = ("Original", "FH", "RA", "RR", "OR")
@@ -63,6 +79,98 @@ class EvaluationScenario:
 
     def _generator(self) -> TrafficGenerator:
         return TrafficGenerator(seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Corpus persistence: a scenario round-trips through the columnar
+    # TraceStore, so experiments can replay a frozen on-disk corpus
+    # instead of regenerating traffic in-process.  Hydrated scenarios
+    # are bit-identical to regenerated ones (the store preserves every
+    # column exactly), which the corpus smoke tests assert end to end.
+    # ------------------------------------------------------------------
+
+    def corpus_recipe(self) -> dict:
+        """The scenario parameters, as stored in a corpus manifest."""
+        return {
+            "seed": self.seed,
+            "train_duration": self.train_duration,
+            "eval_duration": self.eval_duration,
+            "train_sessions": self.train_sessions,
+            "eval_sessions": self.eval_sessions,
+            "apps": [app.value for app in self.apps],
+        }
+
+    def save_corpus(self, path: str, meta: dict | None = None, overwrite: bool = False):
+        """Persist both splits to a :class:`~repro.storage.TraceStore`.
+
+        Traces are written in the deterministic order the accessors
+        produce them (apps in scenario order, sessions ascending, the
+        training split first), so hydration rebuilds identical
+        ``training_by_app`` / ``evaluation_by_app`` mappings.  Returns
+        the reopened, read-only store.
+        """
+        from repro.storage import TraceStore
+
+        with TraceStore.create(
+            path, scenario=self.corpus_recipe(), meta=meta, overwrite=overwrite
+        ) as writer:
+            for app, traces in self.training_by_app().items():
+                for trace in traces:
+                    writer.add(trace, role="train")
+            for app, traces in self.evaluation_by_app().items():
+                for trace in traces:
+                    writer.add(trace, role="eval")
+        return TraceStore.open(path)
+
+    @classmethod
+    def from_store(cls, store) -> "EvaluationScenario":
+        """Hydrate a scenario from a persisted corpus (zero-copy).
+
+        Accepts a :class:`~repro.storage.TraceStore` or a path to one.
+        The store must have been written by :meth:`save_corpus` (its
+        manifest carries the scenario recipe); traces come back as
+        memory-mapped views, so hydration costs O(manifest) regardless
+        of corpus size.
+        """
+        from repro.storage import TraceStore
+
+        if not isinstance(store, TraceStore):
+            store = TraceStore.open(store)
+        recipe = store.scenario
+        if recipe is None:
+            raise ValueError(
+                f"store at {store.path!r} carries no scenario recipe; it was "
+                "not written by EvaluationScenario.save_corpus (or `repro "
+                "corpus build`)"
+            )
+        scenario = cls(
+            **recipe_scalars(recipe),
+            apps=tuple(AppType(app) for app in recipe["apps"]),
+        )
+        splits: dict[str, dict[AppType, list[Trace]]] = {"train": {}, "eval": {}}
+        for role, split in splits.items():
+            for entry in store.select(role=role):
+                split.setdefault(AppType(entry.label), []).append(
+                    store.trace(entry.index)
+                )
+        expected = {
+            "train": scenario.train_sessions,
+            "eval": scenario.eval_sessions,
+        }
+        for role, split in splits.items():
+            for app in scenario.apps:
+                have = len(split.get(app, []))
+                if have != expected[role]:
+                    raise ValueError(
+                        f"store at {store.path!r} holds {have} {role} "
+                        f"trace(s) for {app.value!r}, expected "
+                        f"{expected[role]}; the corpus does not match its "
+                        "own recipe"
+                    )
+        # Insert in scenario app order so the hydrated mappings iterate
+        # exactly like freshly generated ones.
+        scenario._train = {app: splits["train"][app] for app in scenario.apps}
+        scenario._eval = {app: splits["eval"][app] for app in scenario.apps}
+        return scenario
 
     # Both splits expose an AppType-keyed accessor (``*_by_app``) and a
     # label-keyed accessor (``*_traces`` / ``*_by_label``) so callers

@@ -1,0 +1,35 @@
+"""Persistent trace corpora: the columnar, memory-mapped storage seam.
+
+Everything above this package (featurizer, streaming engine,
+experiments, CLI) consumes :class:`~repro.traffic.trace.Trace`
+objects; everything below it is bytes on disk.  The
+:class:`TraceStore` format decouples corpus size from RAM — traces are
+reconstructed zero-copy from memory-mapped column blocks — and is the
+seam future scaling work (sharding, alternative backends) plugs into.
+
+See ``docs/trace-format.md`` for the on-disk specification.
+"""
+
+from repro.storage.store import (
+    COLUMN_DTYPES,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    StoreFormatError,
+    TraceEntry,
+    TraceStore,
+    TraceStoreWriter,
+    load_manifest,
+    write_traces,
+)
+
+__all__ = [
+    "COLUMN_DTYPES",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "StoreFormatError",
+    "TraceEntry",
+    "TraceStore",
+    "TraceStoreWriter",
+    "load_manifest",
+    "write_traces",
+]

@@ -9,6 +9,10 @@ streaming engine consumes *events*, not whole traces.
 * :meth:`PacketStream.replay` turns one :class:`~repro.traffic.trace.Trace`
   into a lazy event stream (a cursor over the trace's columns — no
   per-packet object list is ever materialized ahead of consumption).
+* :meth:`PacketStream.from_store` replays a persisted
+  :class:`~repro.storage.TraceStore` corpus the same way, straight off
+  its memory-mapped columns — multi-million-packet captures stream in
+  bounded memory without ever materializing a trace copy.
 * :meth:`PacketStream.merge` interleaves many concurrent stations into
   one global capture with a k-way heap merge.  Memory is bounded by the
   number of input streams (one pending event each), never by trace
@@ -108,6 +112,47 @@ class PacketStream:
                 )
 
         return cls(generate())
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        role: str | None = None,
+        label: str | None = None,
+    ) -> "PacketStream":
+        """Replay a persisted corpus straight off its memory-mapped columns.
+
+        Accepts a :class:`~repro.storage.TraceStore` or a path to one.
+        Every matching stored trace becomes one station (its manifest
+        ``station`` if set, otherwise a stable synthetic identity), and
+        the stations are interleaved with :meth:`merge` — so resident
+        memory is O(stored traces) pending events plus whatever pages
+        the OS keeps warm, never O(corpus packets).  The emitted events
+        are identical to replaying the same traces from RAM, which the
+        parity tests and ``benchmarks/bench_corpus.py`` assert.
+
+        Args:
+            store: an open store, or a filesystem path to one.
+            role: only replay entries with this manifest role
+                (``"train"`` / ``"eval"``); None replays everything.
+            label: only replay entries with this label.
+        """
+        from repro.storage import TraceStore  # deferred: keep stream import light
+
+        if not isinstance(store, TraceStore):
+            store = TraceStore.open(store)
+        streams = [
+            cls.replay(
+                store.trace(entry.index),
+                station=entry.station
+                or f"{entry.label or 'trace'}/t{entry.index}",
+                label=entry.label,
+            )
+            for entry in store.select(role=role, label=label)
+        ]
+        if not streams:
+            return cls(iter(()))
+        return cls.merge(streams)
 
     @classmethod
     def merge(cls, streams: Sequence["PacketStream"]) -> "PacketStream":

@@ -24,7 +24,13 @@ from repro.traffic.arrivals import (
     PoissonArrivals,
 )
 from repro.traffic.generator import TrafficGenerator, generate_app_trace
-from repro.traffic.io import trace_from_csv, trace_to_csv
+from repro.traffic.io import (
+    corpus_build,
+    corpus_open,
+    csv_to_store,
+    trace_from_csv,
+    trace_to_csv,
+)
 from repro.traffic.packet import DOWNLINK, UPLINK, Direction, Packet
 from repro.traffic.sizes import MAX_PACKET_SIZE, SizeComponent, SizeMixture
 from repro.traffic.stats import (
@@ -59,6 +65,9 @@ __all__ = [
     "UPLINK",
     "app_model",
     "concat_traces",
+    "corpus_build",
+    "corpus_open",
+    "csv_to_store",
     "empirical_cdf",
     "generate_app_trace",
     "interarrival_times",

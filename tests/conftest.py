@@ -10,6 +10,16 @@ from repro.traffic.generator import TrafficGenerator
 from repro.traffic.trace import Trace
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regenerate-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the frozen snapshots under tests/golden/ instead of "
+        "asserting against them (commit the diff deliberately)",
+    )
+
+
 @pytest.fixture(scope="session")
 def generator() -> TrafficGenerator:
     """One deterministic generator shared by the whole session."""

@@ -130,6 +130,81 @@ class TestRun:
         assert "expected KEY=VALUE" in capsys.readouterr().err
 
 
+class TestCorpus:
+    """`repro corpus build` -> `repro run --corpus` round trip."""
+
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-corpus") / "tiny.store")
+        assert main(["corpus", "build", path, *TINY_FLAGS]) == 0
+        return path
+
+    def test_build_prints_summary(self, capsys, store_path):
+        # The fixture already built it; `info` re-reads the manifest.
+        assert main(["corpus", "info", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "packets" in out and "train" in out and "eval" in out
+
+    def test_info_json_is_parseable(self, capsys, store_path):
+        assert main(["corpus", "info", store_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["seed"] == 5
+        assert payload["packets"] > 0
+        assert {"role", "label", "traces", "packets"} <= set(payload["splits"][0])
+
+    def test_run_against_corpus_matches_regenerated(self, capsys, store_path):
+        assert main(["run", "table1", "--corpus", store_path,
+                     "--format", "json"]) == 0
+        from_corpus = json.loads(capsys.readouterr().out)
+        assert main(["run", "table1", *TINY_FLAGS, "--format", "json"]) == 0
+        regenerated = json.loads(capsys.readouterr().out)
+        # Bit-identical cells: the stored corpus replays the exact traces
+        # the generator would produce at these params.
+        assert from_corpus["rows"] == regenerated["rows"]
+        assert from_corpus["params"]["corpus"] == store_path
+
+    def test_corpus_run_subcommand_is_equivalent(self, capsys, store_path):
+        assert main(["corpus", "run", "table1", store_path,
+                     "--format", "json"]) == 0
+        via_subcommand = json.loads(capsys.readouterr().out)
+        assert main(["run", "table1", "--corpus", store_path,
+                     "--format", "json"]) == 0
+        via_flag = json.loads(capsys.readouterr().out)
+        assert via_subcommand["rows"] == via_flag["rows"]
+
+    def test_corpus_run_with_jobs_matches_serial(self, capsys, store_path):
+        # Cells carry only the store path; each worker opens the corpus
+        # read-only, so fan-out must reproduce the serial rows exactly.
+        assert main(["run", "table1", "--corpus", store_path,
+                     "--jobs", "2", "--format", "json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert main(["run", "table1", "--corpus", store_path,
+                     "--format", "json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert parallel["rows"] == serial["rows"]
+
+    def test_conflicting_scenario_flag_exits_2(self, capsys, store_path):
+        assert main(["run", "table1", "--corpus", store_path, "--seed", "9"]) == 2
+        assert "conflicts with the corpus" in capsys.readouterr().err
+
+    def test_explicit_flag_equal_to_default_still_conflicts(
+        self, capsys, store_path
+    ):
+        # The corpus stores seed=5; --seed 0 happens to equal the
+        # built-in default but was passed explicitly, so it must be
+        # rejected, not silently replaced by the stored value.
+        assert main(["run", "table1", "--corpus", store_path, "--seed", "0"]) == 2
+        assert "conflicts with the corpus" in capsys.readouterr().err
+
+    def test_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["run", "table1", "--corpus", str(tmp_path / "nope")]) == 2
+        assert "cannot use corpus" in capsys.readouterr().err
+
+    def test_build_refuses_overwrite_without_flag(self, capsys, store_path):
+        assert main(["corpus", "build", store_path, *TINY_FLAGS]) == 2
+        assert "overwrite" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_serial_only_prints_timing(self, capsys):
         assert main(["bench", "fig4", *TINY_FLAGS, "--set", "duration=5"]) == 0

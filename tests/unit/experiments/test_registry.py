@@ -127,3 +127,53 @@ class TestScenarioParams:
     def test_hashable_for_worker_cache_keys(self):
         assert ScenarioParams(seed=3) == ScenarioParams(seed=3)
         assert hash(ScenarioParams(seed=3)) == hash(ScenarioParams(seed=3))
+
+
+class TestScenarioParamsCorpus:
+    """ScenarioParams.corpus: picklable cells that hydrate from disk."""
+
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory):
+        from repro.experiments.scenarios import EvaluationScenario
+
+        scenario = EvaluationScenario(
+            seed=5, train_duration=30.0, eval_duration=20.0,
+            train_sessions=1, eval_sessions=1,
+        )
+        path = str(tmp_path_factory.mktemp("params") / "params.store")
+        scenario.save_corpus(path)
+        return path
+
+    def test_for_corpus_reads_the_stored_recipe(self, corpus_path):
+        params = ScenarioParams.for_corpus(corpus_path)
+        assert params.seed == 5
+        assert params.train_duration == 30.0
+        assert params.eval_sessions == 1
+        assert params.corpus == corpus_path
+
+    def test_for_corpus_params_are_picklable(self, corpus_path):
+        import pickle
+
+        params = ScenarioParams.for_corpus(corpus_path)
+        assert pickle.loads(pickle.dumps(params)) == params
+
+    def test_build_hydrates_identical_traces(self, corpus_path):
+        import numpy as np
+
+        hydrated = ScenarioParams.for_corpus(corpus_path).build()
+        generated = ScenarioParams(
+            seed=5, train_duration=30.0, eval_duration=20.0,
+            train_sessions=1, eval_sessions=1,
+        ).build()
+        left = hydrated.training_traces()["gaming"][0]
+        right = generated.training_traces()["gaming"][0]
+        assert np.array_equal(left.times, right.times)
+
+    def test_build_rejects_mismatched_params(self, corpus_path):
+        params = ScenarioParams(seed=99, corpus=corpus_path)
+        with pytest.raises(ValueError, match="disagree with the corpus"):
+            params.build()
+
+    def test_for_corpus_rejects_recipeless_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            ScenarioParams.for_corpus(str(tmp_path))

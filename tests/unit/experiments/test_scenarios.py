@@ -102,3 +102,60 @@ class TestAccessorHygiene:
             for app in alias
             for a, b in zip(alias[app], direct[app])
         )
+
+
+class TestCorpusRoundTrip:
+    """save_corpus -> from_store hydration is bit-identical to generation."""
+
+    @pytest.fixture(scope="class")
+    def stored(self, tmp_path_factory, scenario):
+        path = str(tmp_path_factory.mktemp("corpus") / "scenario.store")
+        store = scenario.save_corpus(path)
+        return path, store
+
+    def test_recipe_round_trips(self, scenario, stored):
+        _, store = stored
+        assert store.scenario == scenario.corpus_recipe()
+
+    def test_hydrated_scenario_matches_generated(self, scenario, stored):
+        path, _ = stored
+        hydrated = EvaluationScenario.from_store(path)
+        assert hydrated.seed == scenario.seed
+        assert hydrated.apps == scenario.apps
+        for split in ("training_by_app", "evaluation_by_app"):
+            generated = getattr(scenario, split)()
+            loaded = getattr(hydrated, split)()
+            assert list(loaded) == list(generated)
+            for app in generated:
+                for a, b in zip(generated[app], loaded[app]):
+                    assert a.times.tobytes() == b.times.tobytes()
+                    assert a.sizes.tobytes() == b.sizes.tobytes()
+                    assert a.label == b.label
+
+    def test_hydration_is_zero_copy_and_lazy(self, stored):
+        path, _ = stored
+        hydrated = EvaluationScenario.from_store(path)
+        trace = hydrated.training_by_app()[AppType.VIDEO][0]
+        assert isinstance(np.asarray(trace.times).base, np.memmap) or isinstance(
+            trace.times, np.memmap
+        )
+
+    def test_from_store_rejects_recipeless_store(self, tmp_path, scenario):
+        from repro.storage import write_traces
+
+        trace = scenario.training_by_app()[AppType.VIDEO][0]
+        path = str(tmp_path / "raw.store")
+        write_traces(path, [trace])
+        with pytest.raises(ValueError, match="no scenario recipe"):
+            EvaluationScenario.from_store(path)
+
+    def test_from_store_rejects_incomplete_corpus(self, tmp_path, scenario):
+        from repro.storage import TraceStore
+
+        path = str(tmp_path / "partial.store")
+        with TraceStore.create(path, scenario=scenario.corpus_recipe()) as writer:
+            writer.add(
+                scenario.training_by_app()[AppType.VIDEO][0], role="train"
+            )
+        with pytest.raises(ValueError, match="does not match its own recipe"):
+            EvaluationScenario.from_store(path)

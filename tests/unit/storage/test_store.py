@@ -1,0 +1,274 @@
+"""Tests for the columnar on-disk trace store."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    COLUMN_DTYPES,
+    FORMAT_VERSION,
+    StoreFormatError,
+    TraceStore,
+    TraceStoreWriter,
+    load_manifest,
+    write_traces,
+)
+from repro.traffic.apps import AppType
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "corpus.store")
+
+
+@pytest.fixture(scope="module")
+def app_traces(generator):
+    return [
+        generator.generate(app, duration=20.0, session=s)
+        for app in (AppType.CHATTING, AppType.GAMING)
+        for s in range(2)
+    ]
+
+
+def assert_traces_bitwise_equal(left: Trace, right: Trace) -> None:
+    for column in ("times", "sizes", "directions", "ifaces", "channels", "rssi"):
+        assert getattr(left, column).tobytes() == getattr(right, column).tobytes(), column
+    assert left.label == right.label
+    assert left.meta == right.meta
+
+
+class TestRoundTrip:
+    def test_columns_labels_and_meta_survive(self, app_traces, store_path):
+        store = write_traces(store_path, app_traces)
+        assert len(store) == len(app_traces)
+        assert store.packets == sum(len(t) for t in app_traces)
+        for original, loaded in zip(app_traces, store):
+            assert_traces_bitwise_equal(original, loaded)
+
+    def test_entry_roles_and_stations(self, app_traces, store_path):
+        store = write_traces(
+            store_path,
+            [
+                (trace, {"role": "train" if i % 2 == 0 else "eval",
+                         "station": f"sta{i}"})
+                for i, trace in enumerate(app_traces)
+            ],
+        )
+        assert [e.role for e in store.entries()] == ["train", "eval"] * 2
+        assert [e.station for e in store.entries()] == [f"sta{i}" for i in range(4)]
+        assert [e.role for e in store.select(role="eval")] == ["eval", "eval"]
+        by_label = store.traces_by_label(role="train")
+        assert set(by_label) == {"chatting", "gaming"}
+
+    def test_simple_trace_and_label_none(self, simple_trace, store_path):
+        unlabeled = simple_trace.with_label(None)
+        store = write_traces(store_path, [simple_trace, unlabeled])
+        assert store.trace(0).label == "test"
+        assert store.trace(1).label is None
+        assert store.labels() == ("test",)
+        assert_traces_bitwise_equal(unlabeled, store.trace(1))
+
+    def test_empty_trace_and_empty_store(self, store_path, tmp_path):
+        store = write_traces(store_path, [Trace.empty(label="nothing")])
+        assert len(store) == 1
+        assert len(store.trace(0)) == 0
+        assert store.trace(0).label == "nothing"
+        empty = write_traces(str(tmp_path / "empty.store"), [])
+        assert len(empty) == 0 and empty.packets == 0
+
+    def test_rssi_nan_payload_bit_exact(self, store_path):
+        trace = Trace.from_arrays(
+            times=[0.0, 1.0, 2.0],
+            sizes=[10, 20, 30],
+            rssi=[-40.0, float("nan"), -62.5],
+        )
+        store = write_traces(store_path, [trace])
+        assert store.trace(0).rssi.tobytes() == trace.rssi.tobytes()
+        assert np.isnan(store.trace(0).rssi[1])
+
+    def test_reopen_is_idempotent(self, app_traces, store_path):
+        write_traces(store_path, app_traces)
+        first = TraceStore.open(store_path)
+        second = TraceStore.open(store_path)
+        for a, b in zip(first, second):
+            assert_traces_bitwise_equal(a, b)
+        assert first.entries() == second.entries()
+
+    def test_validate_passes_on_real_corpus(self, app_traces, store_path):
+        write_traces(store_path, app_traces).validate()
+
+
+class TestZeroCopy:
+    def test_traces_are_memmap_views(self, app_traces, store_path):
+        store = write_traces(store_path, app_traces)
+        trace = store.trace(1)
+        buffers = {
+            np.asarray(getattr(trace, c)).base is not None
+            or isinstance(getattr(trace, c), np.memmap)
+            for c in ("times", "sizes", "directions")
+        }
+        assert buffers == {True}
+
+    def test_maps_are_read_only(self, app_traces, store_path):
+        store = write_traces(store_path, app_traces)
+        with pytest.raises(ValueError):
+            store.trace(0).times[0] = 123.0
+
+    def test_trace_identity_stable_for_caches(self, app_traces, store_path):
+        store = write_traces(store_path, app_traces)
+        assert store.trace(2) is store.trace(2)
+
+    def test_closed_store_refuses_access(self, app_traces, store_path):
+        store = write_traces(store_path, app_traces)
+        handed_out = store.trace(0)
+        with store:
+            pass  # context exit closes
+        with pytest.raises(RuntimeError, match="closed"):
+            store.trace(1)
+        # Views already handed out stay alive (numpy pins the buffer).
+        assert float(handed_out.times[0]) >= 0.0
+
+
+class TestChunkedWriter:
+    def test_chunked_append_equals_one_shot(self, simple_trace, tmp_path):
+        one_shot = write_traces(str(tmp_path / "a.store"), [simple_trace])
+        with TraceStoreWriter(str(tmp_path / "b.store")) as writer:
+            writer.begin_trace(label=simple_trace.label, meta=simple_trace.meta)
+            half = len(simple_trace) // 2
+            for sl in (slice(None, half), slice(half, None)):
+                writer.append_columns(
+                    simple_trace.times[sl], simple_trace.sizes[sl],
+                    simple_trace.directions[sl], simple_trace.ifaces[sl],
+                    simple_trace.channels[sl], simple_trace.rssi[sl],
+                )
+        chunked = TraceStore.open(str(tmp_path / "b.store"))
+        assert_traces_bitwise_equal(one_shot.trace(0), chunked.trace(0))
+
+    def test_unsorted_chunk_rejected(self, store_path):
+        with pytest.raises(ValueError, match="sorted"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.begin_trace()
+                writer.append_columns([2.0, 1.0], [10, 10])
+
+    def test_chunk_boundary_regression_rejected(self, store_path):
+        with pytest.raises(ValueError, match="before the previous chunk"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.begin_trace()
+                writer.append_columns([0.0, 5.0], [10, 10])
+                writer.append_columns([4.0], [10])
+
+    def test_bad_sizes_and_negative_times_rejected(self, store_path, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.begin_trace()
+                writer.append_columns([0.0], [0])
+        with pytest.raises(ValueError, match="non-negative"):
+            with TraceStoreWriter(str(tmp_path / "neg.store")) as writer:
+                writer.begin_trace()
+                writer.append_columns([-1.0], [10])
+
+    def test_mismatched_column_length_rejected(self, store_path):
+        with pytest.raises(ValueError, match="length"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.begin_trace()
+                writer.append_columns([0.0, 1.0], [10, 10], directions=[0])
+
+    def test_append_without_begin_raises(self, store_path):
+        with TraceStoreWriter(store_path) as writer:
+            with pytest.raises(RuntimeError, match="begin_trace"):
+                writer.append_columns([0.0], [10])
+
+    def test_aborted_writer_leaves_no_store(self, simple_trace, store_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.add(simple_trace)
+                raise RuntimeError("boom")
+        with pytest.raises(StoreFormatError, match="not a trace store"):
+            TraceStore.open(store_path)
+
+
+class TestFormatGuards:
+    def test_existing_store_needs_overwrite(self, simple_trace, store_path):
+        write_traces(store_path, [simple_trace])
+        with pytest.raises(FileExistsError):
+            TraceStoreWriter(store_path)
+        replaced = write_traces(store_path, [simple_trace], overwrite=True)
+        assert len(replaced) == 1
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreFormatError, match="not a trace store"):
+            TraceStore.open(str(tmp_path))
+
+    def test_interrupted_overwrite_invalidates_old_store(
+        self, simple_trace, store_path
+    ):
+        write_traces(store_path, [simple_trace])
+        # Overwriting truncates columns immediately; the OLD manifest
+        # must already be gone so a crash here (writer never closed)
+        # leaves "not a trace store", never stale metadata over fresh
+        # column bytes.
+        writer = TraceStoreWriter(store_path, overwrite=True)
+        with pytest.raises(StoreFormatError, match="not a trace store"):
+            TraceStore.open(store_path)
+        writer.abort()
+
+    def test_malformed_manifests_raise_store_format_error(
+        self, simple_trace, store_path
+    ):
+        write_traces(store_path, [simple_trace])
+        manifest_path = os.path.join(store_path, "manifest.json")
+        good = open(manifest_path).read()
+        for breakage in (
+            "[1, 2]",                      # not a dict
+            "{not json",                   # invalid JSON
+            good.replace('"packets"', '"paquets"'),   # missing key
+        ):
+            open(manifest_path, "w").write(breakage)
+            with pytest.raises(StoreFormatError):
+                TraceStore.open(store_path)
+        manifest = json.loads(good)
+        del manifest["traces"][0]["offset"]  # malformed entry record
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="malformed manifest"):
+            TraceStore.open(store_path)
+
+    def test_future_version_refused(self, simple_trace, store_path):
+        write_traces(store_path, [simple_trace])
+        manifest_path = os.path.join(store_path, "manifest.json")
+        manifest = json.loads(open(manifest_path).read())
+        manifest["version"] = FORMAT_VERSION + 1
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="not supported"):
+            TraceStore.open(store_path)
+
+    def test_truncated_column_refused(self, simple_trace, store_path):
+        write_traces(store_path, [simple_trace])
+        times_path = os.path.join(store_path, "times.bin")
+        with open(times_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(times_path) - 8)
+        with pytest.raises(StoreFormatError, match="times.bin"):
+            TraceStore.open(store_path)
+
+    def test_inconsistent_offsets_refused(self, simple_trace, store_path):
+        write_traces(store_path, [simple_trace])
+        manifest_path = os.path.join(store_path, "manifest.json")
+        manifest = json.loads(open(manifest_path).read())
+        manifest["traces"][0]["offset"] = 3
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="contiguous"):
+            TraceStore.open(store_path)
+
+    def test_load_manifest_exposes_recipe(self, simple_trace, store_path):
+        write_traces(store_path, [simple_trace], scenario={"seed": 3})
+        manifest = load_manifest(store_path)
+        assert manifest["scenario"] == {"seed": 3}
+        assert set(manifest["columns"]) == set(COLUMN_DTYPES)
+
+    def test_unserializable_meta_raises_informatively(self, store_path):
+        trace = Trace.from_arrays([0.0], [10], meta={"oops": float("nan")})
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            with TraceStoreWriter(store_path) as writer:
+                writer.add(trace)

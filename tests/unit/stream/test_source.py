@@ -101,3 +101,93 @@ class TestValidation:
             PacketEvent(1.0, 10, 0, "a", None),
         ]
         assert len(list(PacketStream(events))) == 2
+
+
+class TestFromStore:
+    """Replaying a persisted corpus must match the in-memory path exactly."""
+
+    @pytest.fixture(scope="class")
+    def stored(self, generator, tmp_path_factory):
+        from repro.storage import write_traces
+        from repro.traffic.apps import AppType
+
+        traces = [
+            generator.generate(app, duration=30.0, session=s)
+            for app in (AppType.CHATTING, AppType.DOWNLOADING, AppType.GAMING)
+            for s in range(2)
+        ]
+        store = write_traces(
+            str(tmp_path_factory.mktemp("stores") / "replay.store"),
+            [
+                (trace, {"station": f"sta{index}", "role": "eval"})
+                for index, trace in enumerate(traces)
+            ],
+        )
+        return traces, store
+
+    def test_events_identical_to_in_memory_merge(self, stored):
+        traces, store = stored
+        in_memory = PacketStream.merge(
+            [
+                PacketStream.replay(trace, station=f"sta{index}", label=trace.label)
+                for index, trace in enumerate(traces)
+            ]
+        )
+        assert list(PacketStream.from_store(store)) == list(in_memory)
+
+    def test_feature_vectors_identical_to_in_memory_path(self, stored):
+        from repro.stream import StreamingFeaturizer
+
+        traces, store = stored
+        off_disk, in_memory = StreamingFeaturizer(5.0), StreamingFeaturizer(5.0)
+        disk_windows = [
+            w for e in PacketStream.from_store(store) for w in off_disk.push_event(e)
+        ] + off_disk.flush()
+        streams = [
+            PacketStream.replay(trace, station=f"sta{index}", label=trace.label)
+            for index, trace in enumerate(traces)
+        ]
+        ram_windows = [
+            w for e in PacketStream.merge(streams) for w in in_memory.push_event(e)
+        ] + in_memory.flush()
+        assert len(disk_windows) == len(ram_windows) > 0
+        for disk, ram in zip(disk_windows, ram_windows):
+            assert disk.flow == ram.flow and disk.index == ram.index
+            assert np.array_equal(disk.features, ram.features)
+
+    def test_replay_memory_stays_within_open_window_bound(self, stored):
+        from repro.analysis.windows import window_edges
+        from repro.stream import StreamingFeaturizer
+
+        traces, store = stored
+        featurizer = StreamingFeaturizer(5.0)
+        for event in PacketStream.from_store(store):
+            featurizer.push_event(event)
+        featurizer.flush()
+        densest = max(
+            int(
+                np.diff(
+                    np.searchsorted(t.times, window_edges(t.times, 5.0))
+                ).max()
+            )
+            for t in traces
+            if len(t)
+        )
+        assert featurizer.peak_open_packets <= densest * len(traces)
+        assert featurizer.open_packets == 0
+
+    def test_accepts_path_and_filters(self, stored, tmp_path):
+        traces, store = stored
+        from_path = PacketStream.from_store(store.path, label="chatting")
+        events = list(from_path)
+        assert events and all(e.label == "chatting" for e in events)
+        assert list(PacketStream.from_store(store, role="train")) == []
+
+    def test_station_defaults_to_synthetic_identity(self, generator, tmp_path):
+        from repro.storage import write_traces
+        from repro.traffic.apps import AppType
+
+        trace = generator.generate(AppType.CHATTING, duration=10.0)
+        store = write_traces(str(tmp_path / "anon.store"), [trace])
+        stations = {e.station for e in PacketStream.from_store(store)}
+        assert stations == {"chatting/t0"}

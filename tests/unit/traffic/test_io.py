@@ -24,6 +24,58 @@ class TestCsvRoundTrip:
         assert len(trace_from_csv(path)) == 0
 
 
+class TestCsvRobustness:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text("time,size\n\n1.0,100\n   \n2.0,200\n\n")
+        loaded = trace_from_csv(str(path))
+        assert list(loaded.times) == [1.0, 2.0]
+
+    def test_whitespace_stripped_in_header_and_cells(self, tmp_path):
+        path = tmp_path / "spaces.csv"
+        path.write_text(" time , size , direction \n 1.0 , 100 , 1 \n")
+        loaded = trace_from_csv(str(path))
+        assert list(loaded.times) == [1.0]
+        assert list(loaded.sizes) == [100]
+        assert list(loaded.directions) == [1]
+
+    def test_malformed_row_names_row_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,size\n1.0,100\n2.0,not-a-size\n")
+        with pytest.raises(ValueError, match="row 3"):
+            trace_from_csv(str(path))
+
+    def test_missing_required_cell_names_column_and_row(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time,size\n1.0,100\n2.0,\n")
+        with pytest.raises(ValueError, match=r"row 3.*'size'"):
+            trace_from_csv(str(path))
+
+    def test_negative_time_and_bad_size_rejected_with_row(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("time,size\n-1.0,100\n")
+        with pytest.raises(ValueError, match="row 2.*negative timestamp"):
+            trace_from_csv(str(path))
+        path.write_text("time,size\n1.0,0\n")
+        with pytest.raises(ValueError, match="row 2.*non-positive"):
+            trace_from_csv(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            trace_from_csv(str(path))
+
+    def test_times_round_trip_exactly(self, tmp_path):
+        # repr-based serialization: bit-exact float64 round trip, not
+        # 9-decimal truncation.
+        times = [0.1, 1.0 / 3.0, 2.0000000001, 1e-12 + 5.0]
+        trace = Trace.from_arrays(times=sorted(times), sizes=[10] * 4)
+        path = str(tmp_path / "exact.csv")
+        trace_to_csv(trace, path)
+        assert trace_from_csv(path).times.tobytes() == trace.times.tobytes()
+
+
 class TestExternalCsv:
     def test_minimal_columns(self, tmp_path):
         path = tmp_path / "minimal.csv"
