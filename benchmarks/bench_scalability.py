@@ -1,6 +1,5 @@
 """D-SCALE: O(N) scheduling cost and scheduler micro-benchmarks (Sec. V-B)."""
 
-import numpy as np
 import pytest
 
 from repro.core.schedulers import (

@@ -20,7 +20,14 @@ Commands:
   columnar on-disk trace store (``docs/trace-format.md``), inspect it,
   and execute any registered experiment against it (``repro run <exp>
   --corpus PATH`` is equivalent); workers open the store read-only and
-  replay it zero-copy instead of regenerating traffic.
+  replay it zero-copy instead of regenerating traffic.  ``build
+  --scheme padding+or`` records the defense recipe in the manifest.
+* ``repro schemes list`` — the defense-scheme catalog: every scheme a
+  ``--scheme`` composition can name, with parameter defaults.
+* ``repro run combined_grid --scheme padding+or --scheme-set
+  interfaces=5`` — evaluate stacked defenses; ``--scheme`` selects
+  compositions (stages joined with ``+``) and ``--scheme-set``
+  overrides a parameter on every stage that declares it.
 
 Scenario scale flags (``--seed``, ``--train-duration``,
 ``--eval-duration``, ``--train-sessions``, ``--eval-sessions``) select
@@ -44,6 +51,12 @@ from repro.experiments.parallel import (
     run_experiment_result,
 )
 from repro.experiments.registry import ScenarioParams
+from repro.schemes import (
+    all_scheme_definitions,
+    canonical_stack,
+    specs_to_json,
+    stack_label,
+)
 from repro.util.results import FORMATS, json_safe
 from repro.util.tables import format_table
 
@@ -83,6 +96,25 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("scheme selection")
+    group.add_argument(
+        "--scheme", dest="scheme", action="append", default=[],
+        metavar="NAME[+NAME...]",
+        help="evaluate this scheme composition (stages joined with '+', "
+        "e.g. padding+or; repeatable).  Maps onto the experiment's "
+        "schemes/scheme option; see `repro schemes list` for the catalog",
+    )
+    group.add_argument(
+        "--scheme-set", dest="scheme_set", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override a scheme parameter for every stage that declares "
+        "it (e.g. interfaces=5; repeatable; values may contain commas, "
+        "e.g. channels=1,6); requires an experiment with a "
+        "scheme_params option (combined_grid)",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("experiment", help="registered experiment name (see `repro list`)")
     parser.add_argument(
@@ -105,6 +137,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="override an experiment option (repeatable); "
         "see `repro list` for each experiment's options",
     )
+    _add_scheme_arguments(parser)
     _add_scenario_arguments(parser)
 
 
@@ -129,6 +162,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true",
         help="also print every experiment's --set options with their "
         "types and defaults",
+    )
+
+    schemes_parser = commands.add_parser(
+        "schemes", help="inspect the defense-scheme catalog",
+        description="List the registered defense schemes — the building "
+        "blocks of --scheme compositions (stages joined with '+').",
+    )
+    scheme_commands = schemes_parser.add_subparsers(
+        dest="schemes_command", required=True
+    )
+    schemes_list_parser = scheme_commands.add_parser(
+        "list", help="list registered schemes",
+        description="Every registered scheme with its kind, parameter "
+        "defaults, and aliases.",
+    )
+    schemes_list_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
     )
 
     run_parser = commands.add_parser(
@@ -176,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     build_parser_.add_argument(
         "--overwrite", action="store_true",
         help="replace an existing store at PATH",
+    )
+    build_parser_.add_argument(
+        "--scheme", dest="scheme", default=None, metavar="NAME[+NAME...]",
+        help="record this defense-scheme recipe in the corpus manifest "
+        "(provenance; traces are stored undefended and the recipe "
+        "rehydrates via the schemes registry)",
     )
     _add_scenario_arguments(build_parser_)
 
@@ -279,6 +336,54 @@ def _resolve_jobs(jobs: int) -> int:
     return default_jobs() if jobs == 0 else max(1, jobs)
 
 
+def _scheme_flag_overrides(
+    spec, compositions: Sequence[str], scheme_sets: Sequence[str]
+) -> dict[str, str]:
+    """Translate ``--scheme`` / ``--scheme-set`` into option overrides.
+
+    ``--scheme`` is sugar for the experiment's scheme-selection option:
+    it fills ``schemes`` (grid experiments: combined_grid,
+    stream_replay) or ``scheme`` (single-scheme experiments:
+    arms_race).  Composition names are validated against the scheme
+    registry up front, so typos fail before any corpus is generated.
+    """
+    overrides: dict[str, str] = {}
+    if compositions:
+        for composition in compositions:
+            canonical_stack(composition)  # unknown names raise here
+        if "schemes" in spec.options:
+            overrides["schemes"] = ",".join(compositions)
+        elif "scheme" in spec.options:
+            if len(compositions) != 1 or "+" in compositions[0]:
+                raise ValueError(
+                    f"experiment {spec.name!r} evaluates a single scheme; "
+                    "pass exactly one --scheme with no '+'"
+                )
+            overrides["scheme"] = compositions[0]
+        else:
+            raise ValueError(
+                f"experiment {spec.name!r} takes no scheme selection "
+                "(no schemes/scheme option); drop --scheme"
+            )
+    if scheme_sets:
+        if "scheme_params" not in spec.options:
+            raise ValueError(
+                f"experiment {spec.name!r} has no scheme_params option; "
+                "--scheme-set applies to scheme-grid experiments "
+                "(combined_grid)"
+            )
+        for pair in scheme_sets:
+            key, separator, _ = pair.partition("=")
+            if not separator or not key:
+                raise ValueError(
+                    f"bad --scheme-set {pair!r}; expected KEY=VALUE"
+                )
+        # ';'-joined: scheme_params values may legitimately contain
+        # commas (fh channels, or boundaries).
+        overrides["scheme_params"] = ";".join(scheme_sets)
+    return overrides
+
+
 def _prepare_run(args: argparse.Namespace):
     """Validate the experiment name and options before any real work.
 
@@ -289,7 +394,21 @@ def _prepare_run(args: argparse.Namespace):
     params = _scenario_params(args)
     try:
         spec = registry.get(args.experiment)
-        resolved = spec.resolve_options(_parse_overrides(args.options))
+        overrides = _parse_overrides(args.options)
+        scheme_overrides = _scheme_flag_overrides(
+            spec,
+            getattr(args, "scheme", None) or [],
+            getattr(args, "scheme_set", None) or [],
+        )
+        clashing = sorted(set(overrides) & set(scheme_overrides))
+        if clashing:
+            conflicts = ", ".join(clashing)
+            raise ValueError(
+                f"--scheme/--scheme-set and --set both configure "
+                f"{conflicts}; use one spelling"
+            )
+        overrides.update(scheme_overrides)
+        resolved = spec.resolve_options(overrides)
         cells = spec.build_cells(params, resolved)  # surfaces bad list values
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
@@ -348,6 +467,41 @@ def _cmd_list(args: argparse.Namespace) -> int:
                     f"  --set {option['name']}=<{option['type']}>"
                     f"  (default: {option['default']})"
                 )
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    entries = [
+        {
+            "name": definition.name,
+            "kind": definition.kind,
+            "params": dict(definition.params),
+            "aliases": list(definition.aliases),
+            "title": definition.title,
+        }
+        for definition in all_scheme_definitions()
+    ]
+    if args.format == "json":
+        print(json.dumps(json_safe(entries), indent=2))
+        return 0
+    rows = [
+        [
+            entry["name"],
+            entry["kind"],
+            ", ".join(f"{k}={v}" for k, v in entry["params"].items()) or "-",
+            ", ".join(entry["aliases"]) or "-",
+            entry["title"],
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["scheme", "kind", "params (defaults)", "aliases", "title"],
+            rows,
+            title="Registered defense schemes "
+            "(compose with '+': repro run combined_grid --scheme padding+or)",
+        )
+    )
     return 0
 
 
@@ -434,6 +588,7 @@ def _corpus_summary_rows(store) -> list[list[object]]:
 
 def _print_corpus_summary(store, fmt: str = "text") -> None:
     recipe = store.scenario or {}
+    specs = store.scheme_specs()
     if fmt == "json":
         payload = {
             "path": store.path,
@@ -441,6 +596,7 @@ def _print_corpus_summary(store, fmt: str = "text") -> None:
             "traces": len(store),
             "bytes": store.nbytes,
             "scenario": recipe,
+            "schemes": specs_to_json(specs) if specs else None,
             "splits": [
                 {"role": row[0], "label": row[1], "traces": row[2], "packets": row[3]}
                 for row in _corpus_summary_rows(store)
@@ -449,13 +605,14 @@ def _print_corpus_summary(store, fmt: str = "text") -> None:
         print(json.dumps(json_safe(payload), indent=2))
         return
     scale = ", ".join(f"{key}={value}" for key, value in recipe.items()) or "none"
+    scheme_note = f"; scheme: {stack_label(specs)}" if specs else ""
     print(
         format_table(
             ["role", "label", "traces", "packets"],
             _corpus_summary_rows(store),
             title=f"Corpus {store.path} — {len(store)} traces, "
             f"{store.packets} packets, {store.nbytes / 1e6:.1f} MB "
-            f"(scenario: {scale})",
+            f"(scenario: {scale}{scheme_note})",
         )
     )
 
@@ -465,13 +622,20 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
     if args.corpus_command == "build":
         params = _scenario_params(args)
+        specs = None
+        if getattr(args, "scheme", None):
+            try:
+                specs = canonical_stack(args.scheme)
+            except (KeyError, ValueError) as error:
+                message = error.args[0] if error.args else error
+                raise _UsageError(message) from error
         # The process-local memo means a build right after (or before) a
         # `repro run` at the same scale generates the corpus only once.
         from repro.experiments.parallel import shared_scenario
 
         try:
             store = shared_scenario(params).save_corpus(
-                args.path, overwrite=args.overwrite
+                args.path, overwrite=args.overwrite, schemes=specs
             )
         except FileExistsError as error:
             raise _UsageError(str(error)) from error
@@ -499,6 +663,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "schemes":
+            return _cmd_schemes(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "bench":

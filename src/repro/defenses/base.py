@@ -10,11 +10,35 @@ observable flow separately.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.traffic.trace import Trace
 
-__all__ = ["DefendedTraffic", "Defense"]
+__all__ = ["DefendedTraffic", "Defense", "StageOverhead"]
+
+
+@dataclass(frozen=True)
+class StageOverhead:
+    """One pipeline stage's contribution to a defended trace's cost.
+
+    A single defense produces one entry; a
+    :class:`~repro.schemes.SchemeStack` produces one per stage, in
+    application order, so the rolled-up report can attribute every
+    byte to the stage that spent it.
+
+    Attributes:
+        scheme: registry name of the stage (``"padding"``, ``"or"``...).
+        extra_bytes: data-path bytes this stage added (padding bytes,
+            fragment headers); 0 for pure reshaping stages.
+        handshake_bytes: control-path bytes this stage spent on Fig. 2
+            configuration exchanges (one per association it opened).
+        flows: observable flows leaving this stage.
+    """
+
+    scheme: str
+    extra_bytes: int
+    handshake_bytes: int
+    flows: int
 
 
 @dataclass(frozen=True)
@@ -27,11 +51,18 @@ class DefendedTraffic:
             what one "identity" (MAC address / channel slice) emitted.
         extra_bytes: bytes added beyond the original traffic (padding,
             fragment headers); 0 for reshaping-style defenses.
+        handshake_bytes: configuration-protocol bytes spent setting the
+            defense up (Sec. V-B's "only message overhead"); 0 for
+            defenses that need no virtual-interface handshake.
+        stages: per-stage accounting when the defense is a composed
+            scheme pipeline; empty for plain single defenses.
     """
 
     original: Trace
     flows: dict[int, Trace]
     extra_bytes: int = 0
+    handshake_bytes: int = 0
+    stages: tuple[StageOverhead, ...] = field(default=())
 
     @property
     def observable_flows(self) -> list[Trace]:

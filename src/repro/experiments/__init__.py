@@ -4,8 +4,10 @@ Each experiment module produces the same rows/series the paper reports
 (see the tables/figures map in the top-level README) and registers itself
 with the experiment registry (:mod:`repro.experiments.registry`) under
 a stable name (``table1`` .. ``table6``, ``fig1``, ``fig4``, ``fig5``,
-``window_sweep``, ``combined``, ``tpc``, ``scalability``, plus the
-streaming trio ``stream_replay`` / ``drift`` / ``arms_race``).  The
+``window_sweep``, ``combined``, ``tpc``, ``scalability``, the
+streaming trio ``stream_replay`` / ``drift`` / ``arms_race``, and the
+stacked-defense sweep ``combined_grid``).  Defense schemes are
+declared as registry specs (:mod:`repro.schemes`), never hand-wired.  The
 registry powers the unified CLI (``repro list`` / ``repro run``) and
 the parallel executor (:mod:`repro.experiments.parallel`), which fans
 an experiment's independent cells out over worker processes while the
@@ -35,6 +37,7 @@ from repro.experiments.discussion import (
     reshaping_scalability,
     tpc_linking_experiment,
 )
+from repro.experiments.combined_grid import CombinedGridResult, combined_grid
 from repro.experiments.window_sweep import WindowSweepResult, window_sweep
 from repro.experiments.streaming import (
     ArmsRaceResult,
@@ -47,6 +50,7 @@ from repro.experiments.registry import names as experiment_names
 
 __all__ = [
     "ArmsRaceResult",
+    "CombinedGridResult",
     "DriftResult",
     "EvaluationScenario",
     "ExperimentCell",
@@ -60,6 +64,7 @@ __all__ = [
     "build_schemes",
     "classification_accuracy_table",
     "combined_defense_accuracy",
+    "combined_grid",
     "experiment_names",
     "figure1_cdf_series",
     "figure4_series",

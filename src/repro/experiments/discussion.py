@@ -16,8 +16,6 @@ from dataclasses import dataclass
 from repro.analysis.attack import AttackPipeline
 from repro.analysis.linking import RssiLinker, linking_accuracy
 from repro.core.combined import CombinedDefense
-from repro.core.engine import ReshapingEngine
-from repro.core.schedulers import OrthogonalReshaper
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -30,6 +28,7 @@ from repro.experiments.registry import (
 from repro.experiments.scenarios import EvaluationScenario
 from repro.net.channel import Position
 from repro.net.wlan import WlanSimulation
+from repro.schemes import DEFAULT_INTERFACES, build_raw, build_scheme, legacy_scheme_spec
 from repro.traffic.apps import AppType
 from repro.traffic.generator import TrafficGenerator
 from repro.util.results import ExperimentResult
@@ -78,8 +77,7 @@ def combined_defense_accuracy(
     pipeline = AttackPipeline(window=window, seed=scenario.seed)
     pipeline.train(scenario.training_traces())
 
-    reshaper = OrthogonalReshaper.paper_default()
-    engine = ReshapingEngine(reshaper)
+    orthogonal = build_scheme(legacy_scheme_spec("or"), scenario.seed)
     interface_targets = {
         0: scenario.evaluation_trace(AppType.GAMING),
         1: scenario.evaluation_trace(AppType.BROWSING),
@@ -94,9 +92,9 @@ def combined_defense_accuracy(
         combined_flows[app.value] = []
         for trace in scenario.evaluation_traces()[app]:
             original_bytes += trace.total_bytes
-            or_flows[app.value].extend(engine.apply(trace).observable_flows)
+            or_flows[app.value].extend(orthogonal.apply(trace).observable_flows)
             combined = CombinedDefense(
-                OrthogonalReshaper.paper_default(),
+                build_raw(legacy_scheme_spec("or"), scenario.seed),
                 interface_targets,
                 seed=scenario.seed,
             ).apply(trace)
@@ -132,7 +130,7 @@ def tpc_linking_experiment(
     seed: int = 0,
     duration: float = 30.0,
     stations: int = 3,
-    interfaces: int = 3,
+    interfaces: int = DEFAULT_INTERFACES,
     tpc_range_db: float = 24.0,
 ) -> TpcLinkingResult:
     """Sec. V-A: can the sniffer link virtual interfaces by RSSI?
@@ -154,7 +152,7 @@ def tpc_linking_experiment(
             station = sim.add_station(
                 name,
                 position,
-                scheduler=OrthogonalReshaper.paper_default(interfaces),
+                scheduler=build_raw(legacy_scheme_spec("or", interfaces), seed),
                 tpc_range_db=tpc,
             )
             sim.configure_virtual_interfaces(station, interfaces)
@@ -210,12 +208,12 @@ def reshaping_scalability(
     rate should stay roughly flat across trace sizes.
     """
     generator = TrafficGenerator(seed=seed)
-    engine = ReshapingEngine(OrthogonalReshaper.paper_default())
+    scheme = build_scheme(legacy_scheme_spec("or"), seed)
     counts, times, rates = [], [], []
     for duration in durations:
         trace = generator.generate(AppType.DOWNLOADING, duration)
         start = time.perf_counter()
-        engine.apply(trace)
+        scheme.apply(trace)
         elapsed = time.perf_counter() - start
         counts.append(len(trace))
         times.append(elapsed)
@@ -343,7 +341,7 @@ registry.register(
         options={
             "duration": 30.0,
             "stations": 3,
-            "interfaces": 3,
+            "interfaces": DEFAULT_INTERFACES,
             "tpc_range_db": 24.0,
         },
     )

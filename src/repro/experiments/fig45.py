@@ -16,8 +16,6 @@ from functools import partial
 
 import numpy as np
 
-from repro.core.engine import ReshapingEngine
-from repro.core.schedulers import ModuloReshaper, OrthogonalReshaper
 from repro.core.targets import FIG4_RANGES
 from repro.experiments import registry
 from repro.experiments.registry import (
@@ -27,6 +25,7 @@ from repro.experiments.registry import (
     single_cell,
     take_only,
 )
+from repro.schemes import DEFAULT_INTERFACES, SchemeSpec, build_scheme
 from repro.traffic.apps import AppType
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.stats import empirical_cdf, size_histogram
@@ -61,19 +60,26 @@ def _bt_trace(duration: float, seed: int) -> Trace:
     return TrafficGenerator(seed=seed).generate(AppType.BITTORRENT, duration=duration)
 
 
+#: Fig. 4's scheme, as a registry recipe: OR over three equal ranges.
+FIG4_SPEC = SchemeSpec(
+    "or", (("boundaries", ",".join(str(b) for b in FIG4_RANGES)),)
+)
+
+
 def figure4_series(duration: float = 300.0, seed: int = 0) -> InterfaceSeries:
     """Figure 4: OR over the three equal ranges of a BT flow."""
     trace = _bt_trace(duration, seed)
-    engine = ReshapingEngine(OrthogonalReshaper.from_boundaries(FIG4_RANGES))
-    result = engine.apply(trace)
+    result = build_scheme(FIG4_SPEC, seed).apply(trace)
     return _series_for(trace, result.flows)
 
 
-def figure5_series(duration: float = 300.0, seed: int = 0, interfaces: int = 3) -> InterfaceSeries:
+def figure5_series(
+    duration: float = 300.0, seed: int = 0, interfaces: int = DEFAULT_INTERFACES
+) -> InterfaceSeries:
     """Figure 5: OR by size modulo over a BT flow."""
     trace = _bt_trace(duration, seed)
-    engine = ReshapingEngine(ModuloReshaper(interfaces=interfaces))
-    result = engine.apply(trace)
+    spec = SchemeSpec("modulo", (("interfaces", int(interfaces)),))
+    result = build_scheme(spec, seed).apply(trace)
     return _series_for(trace, result.flows)
 
 
@@ -144,7 +150,7 @@ for _name, _runner_fn, _title, _options in (
         "fig5",
         _run_fig5_cell,
         "Figure 5 — OR by size modulo over a BT flow",
-        {"duration": 300.0, "interfaces": 3},
+        {"duration": 300.0, "interfaces": DEFAULT_INTERFACES},
     ),
 ):
     registry.register(

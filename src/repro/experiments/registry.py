@@ -32,6 +32,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field, fields
 
 from repro.experiments.scenarios import EvaluationScenario, recipe_scalars
+from repro.schemes.spec import SchemeSpec, specs_from_json
 from repro.util.results import ExperimentResult
 from repro.util.rng import derive_seed
 
@@ -84,6 +85,13 @@ class ScenarioParams:
     this, so a cell's derived seeds can never silently disagree with
     the traces it evaluates.  Use :meth:`for_corpus` to construct a
     matching recipe straight from a store.
+
+    ``schemes`` is an optional defense-scheme recipe (a tuple of
+    picklable :class:`~repro.schemes.SchemeSpec`) riding with the
+    scenario as provenance: ``repro corpus build --scheme`` persists it
+    into the manifest and :meth:`for_corpus` rehydrates it, so the
+    exact defense a corpus was built for travels with the corpus.  It
+    does not alter trace generation (stored traces are undefended).
     """
 
     seed: int = 0
@@ -92,19 +100,26 @@ class ScenarioParams:
     train_sessions: int = 4
     eval_sessions: int = 4
     corpus: str | None = None
+    schemes: tuple[SchemeSpec, ...] | None = None
 
     @classmethod
     def for_corpus(cls, path: str) -> "ScenarioParams":
         """The params recorded in the corpus manifest at ``path``."""
         from repro.storage import load_manifest
 
-        recipe = load_manifest(str(path)).get("scenario")
+        manifest = load_manifest(str(path))
+        recipe = manifest.get("scenario")
         if recipe is None:
             raise ValueError(
                 f"store at {path!r} carries no scenario recipe; build it "
                 "with `repro corpus build` (or EvaluationScenario.save_corpus)"
             )
-        return cls(**recipe_scalars(recipe), corpus=str(path))
+        stored = manifest.get("schemes")
+        return cls(
+            **recipe_scalars(recipe),
+            corpus=str(path),
+            schemes=specs_from_json(stored) if stored else None,
+        )
 
     def build(self) -> EvaluationScenario:
         """Materialize the scenario (hydrated from disk, or lazily generating)."""
@@ -141,8 +156,19 @@ class ScenarioParams:
         )
 
     def as_dict(self) -> dict[str, object]:
-        """Field name → value mapping (for artifact provenance)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Field name → value mapping (for artifact provenance).
+
+        An unset ``schemes`` recipe is omitted (rather than rendered as
+        ``None``) so artifacts for scheme-less runs — including the
+        frozen golden snapshots — are unchanged by the field's
+        existence.
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["schemes"] is None:
+            del out["schemes"]
+        else:
+            out["schemes"] = [spec.as_dict() for spec in out["schemes"]]
+        return out
 
 
 @dataclass(frozen=True)

@@ -1,18 +1,23 @@
 """Experiment orchestration: train once, evaluate every scheme.
 
 The runner owns a trained :class:`~repro.analysis.attack.AttackPipeline`
-per eavesdropping window W and evaluates each scheduling scheme by
-reshaping the evaluation traces and classifying the observable flows.
-A shared :class:`~repro.analysis.batch.WindowCache` memoizes reshaped
-flows per scheme and per-flow feature matrices per window, so the five
-schemes and multi-window sweeps never repeat windowing work.  Pipelines
-are keyed by the normalized window
+per eavesdropping window W and evaluates each defense scheme by
+transforming the evaluation traces and classifying the observable
+flows.  Schemes arrive as registry specs
+(:class:`~repro.schemes.SchemeSpec`, built + memoized per recipe via
+:meth:`ExperimentRunner.scheme`) or as legacy
+:class:`~repro.core.base.Reshaper` objects; both run through the same
+shared :class:`~repro.analysis.batch.WindowCache`, which memoizes
+observable flows per scheme and per-flow feature matrices per window,
+so the scheme grid and multi-window sweeps never repeat windowing
+work.  Pipelines are keyed by the normalized window
 (:func:`~repro.analysis.windows.window_key`), so float jitter in a
 sweep's window arithmetic cannot silently retrain a duplicate pipeline.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.attack import AttackPipeline, AttackReport
@@ -21,10 +26,22 @@ from repro.analysis.windows import window_key
 from repro.core.base import Reshaper
 from repro.core.engine import ReshapingEngine
 from repro.experiments.scenarios import EvaluationScenario, build_schemes
+from repro.schemes import (
+    DEFAULT_INTERFACES,
+    Scheme,
+    SchemeSpec,
+    build_stack,
+    canonical_stack,
+)
 from repro.traffic.apps import AppType
 from repro.traffic.trace import Trace
 
 __all__ = ["ExperimentRunner"]
+
+#: What the evaluation entry points accept as "a scheme": a registry
+#: spec / composition, an already-built Scheme, a bare legacy
+#: Reshaper, or None for the undefended original.
+SchemeLike = "Scheme | Reshaper | SchemeSpec | Sequence[SchemeSpec] | str | None"
 
 
 @dataclass
@@ -34,6 +51,9 @@ class ExperimentRunner:
     scenario: EvaluationScenario
     _pipelines: dict[float, AttackPipeline] = field(default_factory=dict, repr=False)
     _schemes: dict[int, dict[str, Reshaper | None]] = field(
+        default_factory=dict, repr=False
+    )
+    _built: dict[tuple[SchemeSpec, ...], Scheme] = field(
         default_factory=dict, repr=False
     )
     _cache: WindowCache = field(default_factory=WindowCache, repr=False)
@@ -52,14 +72,47 @@ class ExperimentRunner:
             self._pipelines[key] = pipeline
         return self._pipelines[key]
 
+    def scheme(
+        self, composition: SchemeSpec | Sequence[SchemeSpec] | str
+    ) -> Scheme:
+        """The memoized :class:`~repro.schemes.Scheme` for a registry recipe.
+
+        Accepts one spec, a stack of specs, or the ``"padding+or"``
+        composition syntax.  Object identity is stable per canonical
+        recipe — the same guarantee :meth:`schemes` gives for the
+        legacy reshaper dict — so the window cache reuses transformed
+        flows across cells, windows, and experiments.  Seeding comes
+        from the scenario (single schemes build with ``scenario.seed``
+        verbatim; stack stages get order-salted derivations — see
+        :func:`repro.schemes.build_stack`).
+        """
+        if isinstance(composition, SchemeSpec):
+            composition = (composition,)
+        key = canonical_stack(composition)
+        if key not in self._built:
+            self._built[key] = build_stack(key, self.scenario.seed)
+        return self._built[key]
+
     def observable_flows(
         self,
-        reshaper: Reshaper | None,
+        scheme: "SchemeLike",
         trace: Trace,
     ) -> list[Trace]:
-        """What the eavesdropper captures when ``trace`` runs under ``reshaper``."""
-        if reshaper is None:
+        """What the eavesdropper captures when ``trace`` runs under ``scheme``."""
+        if scheme is None:
             return [trace]
+        if isinstance(scheme, (SchemeSpec, str)) or (
+            not isinstance(scheme, (Scheme, Reshaper))
+            and isinstance(scheme, Sequence)
+        ):
+            scheme = self.scheme(scheme)
+        if isinstance(scheme, Scheme):
+            return self._cache.observable_flows(
+                scheme,
+                trace,
+                lambda: scheme.apply(trace).observable_flows,
+            )
+        reshaper = scheme
         return self._cache.observable_flows(
             reshaper,
             trace,
@@ -68,7 +121,7 @@ class ExperimentRunner:
 
     def evaluate_scheme(
         self,
-        reshaper: Reshaper | None,
+        scheme: "SchemeLike",
         window: float,
     ) -> AttackReport:
         """Attack every application's evaluation sessions under one scheme."""
@@ -77,11 +130,11 @@ class ExperimentRunner:
         for label, traces in self.scenario.evaluation_by_label().items():
             flows: list[Trace] = []
             for trace in traces:
-                flows.extend(self.observable_flows(reshaper, trace))
+                flows.extend(self.observable_flows(scheme, trace))
             flows_by_label[label] = flows
         return pipeline.evaluate_flows(flows_by_label, cache=self._cache)
 
-    def schemes(self, interfaces: int = 3) -> dict[str, Reshaper | None]:
+    def schemes(self, interfaces: int = DEFAULT_INTERFACES) -> dict[str, Reshaper | None]:
         """The runner's scheme set (built once per interface count).
 
         Reshaper identity must be stable across calls so the window
@@ -94,7 +147,7 @@ class ExperimentRunner:
     def evaluate_all_schemes(
         self,
         window: float,
-        interfaces: int = 3,
+        interfaces: int = DEFAULT_INTERFACES,
     ) -> dict[str, AttackReport]:
         """Reports for Original / FH / RA / RR / OR at one window size."""
         reports: dict[str, AttackReport] = {}

@@ -11,11 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.base import Reshaper
-from repro.core.schedulers import (
-    FrequencyHoppingScheduler,
-    OrthogonalReshaper,
-    RandomReshaper,
-    RoundRobinReshaper,
+from repro.schemes import (
+    DEFAULT_INTERFACES,
+    LEGACY_SCHEME_SPECS,
+    build_raw,
+    legacy_scheme_spec,
 )
 from repro.traffic.apps import ALL_APPS, AppType
 from repro.traffic.generator import TrafficGenerator
@@ -39,19 +39,28 @@ def recipe_scalars(recipe: dict) -> dict:
         "eval_sessions": int(recipe["eval_sessions"]),
     }
 
-#: Column order of Tables II/III.
-SCHEME_NAMES: tuple[str, ...] = ("Original", "FH", "RA", "RR", "OR")
+#: Column order of Tables II/III (display spellings of the registry's
+#: :data:`~repro.schemes.LEGACY_SCHEME_SPECS`).
+SCHEME_NAMES: tuple[str, ...] = tuple(
+    display for display, _ in LEGACY_SCHEME_SPECS
+)
 
 
-def build_schemes(interfaces: int = 3, seed: int = 0) -> dict[str, Reshaper | None]:
-    """The four defended schemes of Sec. IV plus the undefended original."""
-    return {
-        "Original": None,
-        "FH": FrequencyHoppingScheduler(channels=(1, 6, 11), dwell=0.5),
-        "RA": RandomReshaper(interfaces=interfaces, seed=seed),
-        "RR": RoundRobinReshaper(interfaces=interfaces),
-        "OR": OrthogonalReshaper.paper_default(interfaces=interfaces),
-    }
+def build_schemes(
+    interfaces: int = DEFAULT_INTERFACES, seed: int = 0
+) -> dict[str, Reshaper | None]:
+    """The four defended schemes of Sec. IV plus the undefended original.
+
+    Thin legacy wrapper over the scheme registry
+    (:mod:`repro.schemes.catalog`) — the registry is the single source
+    of truth for each scheme's configuration; this keeps the historical
+    shape (``"Original"`` maps to ``None``, the rest to raw
+    :class:`~repro.core.base.Reshaper` objects).
+    """
+    schemes: dict[str, Reshaper | None] = {"Original": None}
+    for display in SCHEME_NAMES[1:]:
+        schemes[display] = build_raw(legacy_scheme_spec(display, interfaces), seed)
+    return schemes
 
 
 @dataclass
@@ -99,19 +108,34 @@ class EvaluationScenario:
             "apps": [app.value for app in self.apps],
         }
 
-    def save_corpus(self, path: str, meta: dict | None = None, overwrite: bool = False):
+    def save_corpus(
+        self,
+        path: str,
+        meta: dict | None = None,
+        overwrite: bool = False,
+        schemes=None,
+    ):
         """Persist both splits to a :class:`~repro.storage.TraceStore`.
 
         Traces are written in the deterministic order the accessors
         produce them (apps in scenario order, sessions ascending, the
         training split first), so hydration rebuilds identical
-        ``training_by_app`` / ``evaluation_by_app`` mappings.  Returns
-        the reopened, read-only store.
+        ``training_by_app`` / ``evaluation_by_app`` mappings.
+        ``schemes`` optionally attaches a defense-scheme recipe (a
+        sequence of :class:`~repro.schemes.SchemeSpec`) to the manifest
+        as provenance; the stored traces stay undefended — the recipe
+        is what :meth:`~repro.storage.TraceStore.scheme_specs`
+        rehydrates.  Returns the reopened, read-only store.
         """
+        from repro.schemes.spec import specs_to_json
         from repro.storage import TraceStore
 
         with TraceStore.create(
-            path, scenario=self.corpus_recipe(), meta=meta, overwrite=overwrite
+            path,
+            scenario=self.corpus_recipe(),
+            meta=meta,
+            schemes=specs_to_json(schemes) if schemes is not None else None,
+            overwrite=overwrite,
         ) as writer:
             for app, traces in self.training_by_app().items():
                 for trace in traces:

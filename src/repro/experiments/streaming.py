@@ -28,11 +28,6 @@ from dataclasses import dataclass
 
 from repro.analysis.attack import AttackPipeline, AttackReport
 from repro.analysis.classifiers import GaussianNaiveBayes, LinearSvm
-from repro.core.schedulers import (
-    OrthogonalReshaper,
-    RandomReshaper,
-    RoundRobinReshaper,
-)
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -41,6 +36,13 @@ from repro.experiments.registry import (
     make_cell,
 )
 from repro.experiments.scenarios import SCHEME_NAMES
+from repro.schemes import (
+    DEFAULT_INTERFACES,
+    LEGACY_SCHEME_SPECS,
+    build_raw,
+    get_scheme,
+    legacy_scheme_spec,
+)
 from repro.stream.adaptive import ArmsRaceOutcome, run_arms_race
 from repro.stream.attack import OnlineAttack
 from repro.stream.source import PacketStream
@@ -81,17 +83,39 @@ class StreamReplayResult:
         )
 
 
+#: Canonical registry key -> table-column display spelling, for the
+#: five legacy schemes; other registered schemes display canonically.
+_DISPLAY_OF = {canonical: display for display, canonical in LEGACY_SCHEME_SPECS}
+
+
 def _replay_schemes(options: dict[str, object]) -> tuple[str, ...]:
-    schemes = tuple(
+    """The scheme list, resolved through the registry.
+
+    Accepts any registered *single* scheme in any spelling (``OR``,
+    ``or``, ``padding``...) — the streaming replay works for byte-level
+    defenses too, since it consumes the same observable flows the
+    batch path evaluates.  Names normalize to the legacy display
+    spelling where one exists, so default cell names (and the golden
+    snapshot) are unchanged.
+    """
+    parts = tuple(
         part.strip() for part in str(options["schemes"]).split(",") if part.strip()
     )
-    unknown = set(schemes) - set(SCHEME_NAMES)
-    if not schemes or unknown:
-        raise ValueError(
-            f"schemes must be a comma-separated subset of {SCHEME_NAMES}, "
-            f"got {options['schemes']!r}"
-        )
-    return schemes
+    if not parts:
+        raise ValueError("schemes must name at least one registered scheme")
+    resolved = []
+    for part in parts:
+        if "+" in part:
+            raise ValueError(
+                f"stream_replay evaluates one scheme at a time, got the "
+                f"composition {part!r}; use combined_grid for stacks"
+            )
+        try:
+            canonical = get_scheme(part).name
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        resolved.append(_DISPLAY_OF.get(canonical, canonical))
+    return tuple(dict.fromkeys(resolved))
 
 
 def _replay_cells(
@@ -101,7 +125,12 @@ def _replay_cells(
         make_cell(
             "stream_replay",
             f"scheme={scheme}",
-            {"scenario": params, "scheme": scheme, **options},
+            {
+                "scenario": params,
+                "scheme": scheme,
+                "spec": legacy_scheme_spec(scheme, int(options["interfaces"])),
+                **options,
+            },
             params.seed,
         )
         for scheme in _replay_schemes(options)
@@ -110,17 +139,18 @@ def _replay_cells(
 
 def _replay_run_cell(cell: ExperimentCell) -> dict[str, object]:
     runner = parallel.shared_runner(cell.params["scenario"])
-    scheme = str(cell.params["scheme"])
     window = float(cell.params["window"])
-    interfaces = int(cell.params["interfaces"])
-    reshaper = runner.schemes(interfaces)[scheme]
+    # The streaming attacker consumes the very same Scheme object (and
+    # therefore the same cached observable flows) the batch path
+    # evaluates — parity is structural, not coincidental.
+    scheme = runner.scheme(cell.params["spec"])
     pipeline = runner.pipeline(window)
 
     streams = []
     for label, traces in runner.scenario.evaluation_by_label().items():
         flow_index = 0
         for trace in traces:
-            for flow in runner.observable_flows(reshaper, trace):
+            for flow in runner.observable_flows(scheme, trace):
                 streams.append(
                     PacketStream.replay(
                         flow, station=f"{label}/f{flow_index}", label=label
@@ -131,9 +161,9 @@ def _replay_run_cell(cell: ExperimentCell) -> dict[str, object]:
     attacker.consume(PacketStream.merge(streams))
 
     return {
-        "scheme": scheme,
+        "scheme": str(cell.params["scheme"]),
         "streaming": attacker.report(),
-        "batch": runner.evaluate_scheme(reshaper, window),
+        "batch": runner.evaluate_scheme(scheme, window),
         "windows": len(attacker.predictions),
     }
 
@@ -195,7 +225,7 @@ registry.register(
         to_result=_replay_to_result,
         options={
             "window": 5.0,
-            "interfaces": 3,
+            "interfaces": DEFAULT_INTERFACES,
             "schemes": ",".join(SCHEME_NAMES),
         },
     )
@@ -395,13 +425,20 @@ class ArmsRaceResult:
 
 
 def _arms_base_factory(scheme: str, interfaces: int, seed: int):
-    if scheme == "OR":
-        return lambda: OrthogonalReshaper.paper_default(interfaces=interfaces)
-    if scheme == "RR":
-        return lambda: RoundRobinReshaper(interfaces=interfaces)
-    if scheme == "RA":
-        return lambda: RandomReshaper(interfaces=interfaces, seed=seed)
-    raise ValueError(f"scheme must be one of OR, RR, RA; got {scheme!r}")
+    """A fresh base reshaper per association, built from the registry.
+
+    The defender's scheduler comes from the same scheme catalog the
+    batch path evaluates; FH and the identity are excluded because the
+    adaptive loop needs a per-packet interface scheduler.
+    """
+    try:
+        canonical = get_scheme(scheme).name
+    except KeyError:
+        canonical = str(scheme)
+    if canonical not in ("or", "rr", "ra"):
+        raise ValueError(f"scheme must be one of OR, RR, RA; got {scheme!r}")
+    spec = legacy_scheme_spec(canonical, interfaces)
+    return lambda: build_raw(spec, seed)
 
 
 def _arms_cells(
@@ -502,7 +539,7 @@ registry.register(
         to_result=_arms_to_result,
         options={
             "window": 5.0,
-            "interfaces": 3,
+            "interfaces": DEFAULT_INTERFACES,
             "scheme": "OR",
             "threshold": 0.85,
             "cooldown": 10.0,

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.engine import ReshapingEngine
-from repro.core.schedulers import OrthogonalReshaper
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -24,6 +22,7 @@ from repro.experiments.registry import (
     make_cell,
 )
 from repro.experiments.scenarios import EvaluationScenario
+from repro.schemes import DEFAULT_INTERFACES, build_scheme, legacy_scheme_spec
 from repro.traffic.apps import ALL_APPS, AppType
 from repro.traffic.stats import summarize_trace
 from repro.util.results import ExperimentResult
@@ -48,10 +47,10 @@ def _app_row(
     interfaces: int,
 ) -> Table1Row:
     """Table I entry for one application (one independent cell)."""
-    engine = ReshapingEngine(OrthogonalReshaper.paper_default(interfaces))
+    scheme = build_scheme(legacy_scheme_spec("or", interfaces), scenario.seed)
     trace = scenario.evaluation_trace(app)
     original = summarize_trace(trace)
-    result = engine.apply(trace)
+    result = scheme.apply(trace)
     sizes: dict[int, float] = {}
     interarrivals: dict[int, float] = {}
     for iface in range(interfaces):
@@ -74,7 +73,7 @@ def _app_row(
 
 def table1_interface_features(
     scenario: EvaluationScenario | None = None,
-    interfaces: int = 3,
+    interfaces: int = DEFAULT_INTERFACES,
 ) -> list[Table1Row]:
     """Regenerate Table I from the evaluation traces."""
     scenario = scenario or EvaluationScenario()
@@ -157,6 +156,6 @@ registry.register(
         run_cell=_run_cell,
         combine=_combine,
         to_result=_to_result,
-        options={"interfaces": 3},
+        options={"interfaces": DEFAULT_INTERFACES},
     )
 )

@@ -9,7 +9,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.attack import AttackReport
-from repro.core.schedulers import OrthogonalReshaper
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -20,6 +19,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
+from repro.schemes import DEFAULT_INTERFACES, legacy_scheme_spec
 from repro.traffic.apps import ALL_APPS
 from repro.util.results import ExperimentResult
 
@@ -55,17 +55,17 @@ class Table4Result:
 def table4_false_positives(
     scenario: EvaluationScenario | None = None,
     windows: tuple[float, ...] = (5.0, 60.0),
-    interfaces: int = 3,
+    interfaces: int = DEFAULT_INTERFACES,
 ) -> Table4Result:
     """Regenerate Table IV."""
     scenario = scenario or EvaluationScenario()
     runner = ExperimentRunner(scenario)
     fp_rates: dict[tuple[float, str], dict[str, float]] = {}
     mean_fp: dict[tuple[float, str], float] = {}
-    reshaper = OrthogonalReshaper.paper_default(interfaces)
+    orthogonal = runner.scheme(legacy_scheme_spec("or", interfaces))
     for window in windows:
-        for scheme, engine_reshaper in (("Original", None), ("OR", reshaper)):
-            report = runner.evaluate_scheme(engine_reshaper, window)
+        for scheme, evaluated in (("Original", None), ("OR", orthogonal)):
+            report = runner.evaluate_scheme(evaluated, window)
             fp_rates[(window, scheme)] = report.false_positive_by_class
             mean_fp[(window, scheme)] = report.mean_false_positive
     return Table4Result(fp_rates=fp_rates, mean_fp=mean_fp)
@@ -95,6 +95,7 @@ def _cells(
                 "scenario": params,
                 "window": window,
                 "scheme": scheme,
+                "spec": legacy_scheme_spec(scheme, int(options["interfaces"])),
                 "interfaces": int(options["interfaces"]),
             },
             params.seed,
@@ -105,11 +106,8 @@ def _cells(
 
 def _run_cell(cell: ExperimentCell) -> AttackReport:
     runner = parallel.shared_runner(cell.params["scenario"])
-    if cell.params["scheme"] == "Original":
-        reshaper = None
-    else:
-        reshaper = runner.schemes(int(cell.params["interfaces"]))["OR"]
-    return runner.evaluate_scheme(reshaper, float(cell.params["window"]))
+    scheme = runner.scheme(cell.params["spec"])
+    return runner.evaluate_scheme(scheme, float(cell.params["window"]))
 
 
 def _combine(
@@ -157,6 +155,6 @@ registry.register(
         run_cell=_run_cell,
         combine=_combine,
         to_result=_to_result,
-        options={"windows": "5,60", "interfaces": 3},
+        options={"windows": "5,60", "interfaces": DEFAULT_INTERFACES},
     )
 )

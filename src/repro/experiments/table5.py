@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.attack import AttackReport
-from repro.core.schedulers import OrthogonalReshaper
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -23,6 +22,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
+from repro.schemes import PAPER_INTERFACE_COUNTS, legacy_scheme_spec
 from repro.util.results import ExperimentResult
 
 __all__ = ["Table5Result", "table5_interface_sweep"]
@@ -57,7 +57,7 @@ class Table5Result:
 def table5_interface_sweep(
     scenario: EvaluationScenario | None = None,
     window: float = 5.0,
-    interface_counts: tuple[int, ...] = (2, 3, 5),
+    interface_counts: tuple[int, ...] = PAPER_INTERFACE_COUNTS,
 ) -> Table5Result:
     """Regenerate Table V (OR at W = 5 s for each interface count)."""
     scenario = scenario or EvaluationScenario()
@@ -65,8 +65,7 @@ def table5_interface_sweep(
     accuracies: dict[int, dict[str, float]] = {}
     means: dict[int, float] = {}
     for count in interface_counts:
-        reshaper = OrthogonalReshaper.paper_default(interfaces=count)
-        report = runner.evaluate_scheme(reshaper, window)
+        report = runner.evaluate_scheme(legacy_scheme_spec("or", count), window)
         accuracies[count] = report.accuracy_by_class
         means[count] = report.mean_accuracy
     return Table5Result(accuracies=accuracies, means=means)
@@ -91,6 +90,7 @@ def _cells(
             {
                 "scenario": params,
                 "interfaces": count,
+                "spec": legacy_scheme_spec("or", count),
                 "window": float(options["window"]),
             },
             params.seed,
@@ -101,8 +101,8 @@ def _cells(
 
 def _run_cell(cell: ExperimentCell) -> AttackReport:
     runner = parallel.shared_runner(cell.params["scenario"])
-    reshaper = runner.schemes(int(cell.params["interfaces"]))["OR"]
-    return runner.evaluate_scheme(reshaper, float(cell.params["window"]))
+    scheme = runner.scheme(cell.params["spec"])
+    return runner.evaluate_scheme(scheme, float(cell.params["window"]))
 
 
 def _combine(
@@ -145,6 +145,9 @@ registry.register(
         run_cell=_run_cell,
         combine=_combine,
         to_result=_to_result,
-        options={"window": 5.0, "interfaces": "2,3,5"},
+        options={
+            "window": 5.0,
+            "interfaces": ",".join(str(c) for c in PAPER_INTERFACE_COUNTS),
+        },
     )
 )

@@ -22,6 +22,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import SCHEME_NAMES, EvaluationScenario
+from repro.schemes import DEFAULT_INTERFACES, legacy_scheme_spec
 from repro.util.results import ExperimentResult
 
 __all__ = ["AccuracyTable", "classification_accuracy_table"]
@@ -63,7 +64,7 @@ class AccuracyTable:
 def classification_accuracy_table(
     window: float,
     scenario: EvaluationScenario | None = None,
-    interfaces: int = 3,
+    interfaces: int = DEFAULT_INTERFACES,
 ) -> AccuracyTable:
     """Regenerate Table II (window=5) or Table III (window=60)."""
     scenario = scenario or EvaluationScenario()
@@ -82,6 +83,8 @@ def _accuracy_cells(
     options: dict[str, object],
     experiment: str,
 ) -> tuple[ExperimentCell, ...]:
+    # The scheme grid is declared as registry specs: the cell carries
+    # the picklable recipe, never a live scheduler object.
     return tuple(
         make_cell(
             experiment,
@@ -89,6 +92,7 @@ def _accuracy_cells(
             {
                 "scenario": params,
                 "scheme": scheme,
+                "spec": legacy_scheme_spec(scheme, int(options["interfaces"])),
                 "window": float(options["window"]),
                 "interfaces": int(options["interfaces"]),
             },
@@ -100,8 +104,8 @@ def _accuracy_cells(
 
 def _run_accuracy_cell(cell: ExperimentCell) -> AttackReport:
     runner = parallel.shared_runner(cell.params["scenario"])
-    reshaper = runner.schemes(int(cell.params["interfaces"]))[cell.params["scheme"]]
-    return runner.evaluate_scheme(reshaper, float(cell.params["window"]))
+    scheme = runner.scheme(cell.params["spec"])
+    return runner.evaluate_scheme(scheme, float(cell.params["window"]))
 
 
 def _combine_accuracy(
@@ -147,6 +151,6 @@ for _name, _window, _title in (
             run_cell=_run_accuracy_cell,
             combine=_combine_accuracy,
             to_result=partial(_accuracy_result, experiment=_name, title=_title),
-            options={"window": _window, "interfaces": 3},
+            options={"window": _window, "interfaces": DEFAULT_INTERFACES},
         )
     )

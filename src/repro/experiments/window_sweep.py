@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.schedulers import OrthogonalReshaper
 from repro.experiments import parallel, registry
 from repro.experiments.registry import (
     ExperimentCell,
@@ -27,6 +26,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
+from repro.schemes import legacy_scheme_spec
 from repro.util.results import ExperimentResult
 
 __all__ = ["WindowSweepResult", "window_sweep"]
@@ -67,11 +67,13 @@ def window_sweep(
     """Mean accuracy of Original and OR across eavesdropping durations."""
     scenario = scenario or EvaluationScenario()
     runner = ExperimentRunner(scenario)
-    reshaper = OrthogonalReshaper.paper_default()
+    orthogonal_scheme = runner.scheme(legacy_scheme_spec("or"))
     original, orthogonal = [], []
     for window in windows:
         original.append(runner.evaluate_scheme(None, window).mean_accuracy)
-        orthogonal.append(runner.evaluate_scheme(reshaper, window).mean_accuracy)
+        orthogonal.append(
+            runner.evaluate_scheme(orthogonal_scheme, window).mean_accuracy
+        )
     return WindowSweepResult(
         windows=tuple(windows),
         original=tuple(original),
@@ -107,7 +109,12 @@ def _cells(
         make_cell(
             "window_sweep",
             f"window={window:g}/scheme={scheme}",
-            {"scenario": params, "window": window, "scheme": scheme},
+            {
+                "scenario": params,
+                "window": window,
+                "scheme": scheme,
+                "spec": legacy_scheme_spec(scheme),
+            },
             params.seed,
         )
         for window, scheme in _grid(options)
@@ -116,11 +123,8 @@ def _cells(
 
 def _run_cell(cell: ExperimentCell) -> float:
     runner = parallel.shared_runner(cell.params["scenario"])
-    if cell.params["scheme"] == "Original":
-        reshaper = None
-    else:
-        reshaper = runner.schemes(3)["OR"]
-    return runner.evaluate_scheme(reshaper, float(cell.params["window"])).mean_accuracy
+    scheme = runner.scheme(cell.params["spec"])
+    return runner.evaluate_scheme(scheme, float(cell.params["window"])).mean_accuracy
 
 
 def _combine(

@@ -13,7 +13,7 @@ clients.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mac.addresses import MacAddress
 from repro.mac.pool import AddressPool

@@ -1,0 +1,218 @@
+"""The unified defense-scheme interface: one trace transform to rule them all.
+
+The repo grew two disjoint abstractions for the paper's defenses —
+:class:`~repro.core.base.Reshaper` (+ :class:`~repro.core.engine.ReshapingEngine`)
+for the scheduling schemes and :class:`~repro.defenses.base.Defense` for
+the byte-level baselines.  A :class:`Scheme` subsumes both: a named,
+resettable transform ``apply(trace) -> DefendedTraffic`` whose output
+carries its own overhead/handshake accounting.  Because every scheme
+speaks the same contract, they **compose**: :class:`SchemeStack` chains
+any sequence (padding → OR → FH, ...), fanning each stage over the
+previous stage's observable flows and rolling the per-stage accounting
+up into one report.
+
+Composition semantics:
+
+* Stage *k+1* is applied to **each** observable flow stage *k* emitted,
+  independently (each flow is its own association, mirroring
+  ``ReshapingEngine.apply_many``); its outputs concatenate, renumbered
+  in stage-major order.
+* ``extra_bytes`` / ``handshake_bytes`` are **additive** across stages:
+  the stack's totals are the per-stage sums, and every stage's own
+  contribution is preserved in ``DefendedTraffic.stages``.
+* Determinism: ``apply`` resets scheme state first, so a stack is a
+  pure function of ``(stack construction, trace)`` — the property the
+  flow cache and the parallel executor both rely on.
+* RNG hygiene: stages inside a stack are built with per-stage seeds
+  derived from ``derive_seed(seed, "scheme-stack", position, name)``
+  (see :func:`~repro.schemes.registry.build_stack`), so two instances
+  of the same stochastic scheme in one stack can never alias RNG
+  streams, whatever their order.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.core.base import Reshaper
+from repro.core.engine import ReshapingEngine
+from repro.defenses.base import DefendedTraffic, Defense, StageOverhead
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "DefenseScheme",
+    "IdentityScheme",
+    "ReshaperScheme",
+    "Scheme",
+    "SchemeStack",
+    "as_scheme",
+]
+
+
+class Scheme(abc.ABC):
+    """A named, composable defense: trace in, observable flows out."""
+
+    #: Registry name (stacks use the ``a+b`` composition label).
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        """Defend ``trace``; deterministic in ``(self, trace)``."""
+
+    def reset(self) -> None:
+        """Clear any online state (delegated to wrapped objects)."""
+
+    def apply_many(self, traces: Sequence[Trace]) -> list[DefendedTraffic]:
+        """Apply the scheme to several traces independently."""
+        return [self.apply(trace) for trace in traces]
+
+    @property
+    def reshaper(self) -> Reshaper | None:
+        """The underlying packet scheduler, when the scheme has one.
+
+        The streaming loop (:mod:`repro.stream.adaptive`) schedules
+        packet by packet, so it unwraps the scheduler from whatever
+        scheme the batch path evaluates; byte-level defenses return
+        ``None`` (they have no online form).
+        """
+        return None
+
+
+class IdentityScheme(Scheme):
+    """The undefended original: one flow, the trace itself, zero cost."""
+
+    name = "original"
+
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        return DefendedTraffic(
+            original=trace,
+            flows={0: trace},
+            stages=(StageOverhead(self.name, 0, 0, 1),),
+        )
+
+
+class ReshaperScheme(Scheme):
+    """Adapter: any :class:`~repro.core.base.Reshaper` as a :class:`Scheme`.
+
+    ``apply`` runs the trace through a :class:`ReshapingEngine` (state
+    reset, partition verified) — bit-identical to the engine path the
+    batch experiments always used — and charges the engine's Fig. 2
+    configuration handshake as the stage's ``handshake_bytes``.
+    """
+
+    def __init__(self, name: str, reshaper: Reshaper):
+        self.name = str(name)
+        self._engine = ReshapingEngine(reshaper)
+
+    @property
+    def reshaper(self) -> Reshaper:
+        return self._engine.reshaper
+
+    def reset(self) -> None:
+        self._engine.reshaper.reset()
+
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        result = self._engine.apply(trace)
+        handshake = self._engine.config_overhead_bytes
+        return DefendedTraffic(
+            original=trace,
+            flows=result.flows,
+            extra_bytes=0,
+            handshake_bytes=handshake,
+            stages=(StageOverhead(self.name, 0, handshake, len(result.flows)),),
+        )
+
+
+class DefenseScheme(Scheme):
+    """Adapter: any :class:`~repro.defenses.base.Defense` as a :class:`Scheme`."""
+
+    def __init__(self, name: str, defense: Defense):
+        self.name = str(name)
+        self._defense = defense
+
+    @property
+    def defense(self) -> Defense:
+        """The wrapped byte-level defense."""
+        return self._defense
+
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        result = self._defense.apply(trace)
+        return replace(
+            result,
+            stages=(
+                StageOverhead(
+                    self.name, result.extra_bytes, result.handshake_bytes,
+                    len(result.flows),
+                ),
+            ),
+        )
+
+
+class SchemeStack(Scheme):
+    """A chain of schemes applied flow-wise, with rolled-up accounting."""
+
+    def __init__(self, stages: Sequence[Scheme], name: str | None = None):
+        if not stages:
+            raise ValueError("a SchemeStack needs at least one stage")
+        self._stages = tuple(stages)
+        self.name = name if name is not None else "+".join(s.name for s in self._stages)
+
+    @property
+    def stages(self) -> tuple[Scheme, ...]:
+        """The chained schemes, in application order."""
+        return self._stages
+
+    @property
+    def reshaper(self) -> Reshaper | None:
+        """The scheduler of a single-stage stack (stacks have no online form)."""
+        if len(self._stages) == 1:
+            return self._stages[0].reshaper
+        return None
+
+    def reset(self) -> None:
+        for stage in self._stages:
+            stage.reset()
+
+    def apply(self, trace: Trace) -> DefendedTraffic:
+        flows: list[Trace] = [trace]
+        accounting: list[StageOverhead] = []
+        for stage in self._stages:
+            emitted: list[Trace] = []
+            extra = 0
+            handshake = 0
+            for flow in flows:
+                result = stage.apply(flow)
+                emitted.extend(result.observable_flows)
+                extra += result.extra_bytes
+                handshake += result.handshake_bytes
+            accounting.append(
+                StageOverhead(stage.name, extra, handshake, len(emitted))
+            )
+            flows = emitted
+        return DefendedTraffic(
+            original=trace,
+            flows=dict(enumerate(flows)),
+            extra_bytes=sum(stage.extra_bytes for stage in accounting),
+            handshake_bytes=sum(stage.handshake_bytes for stage in accounting),
+            stages=tuple(accounting),
+        )
+
+
+def as_scheme(obj: Scheme | Reshaper | Defense, name: str | None = None) -> Scheme:
+    """Wrap ``obj`` into the unified :class:`Scheme` interface.
+
+    Schemes pass through; reshapers and defenses get the appropriate
+    adapter.  ``name`` overrides the wrapped object's default label.
+    """
+    if isinstance(obj, Scheme):
+        return obj
+    if isinstance(obj, Reshaper):
+        return ReshaperScheme(name or type(obj).__name__, obj)
+    if isinstance(obj, Defense):
+        return DefenseScheme(name or obj.name, obj)
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__} as a Scheme "
+        "(expected a Scheme, Reshaper, or Defense)"
+    )

@@ -1,0 +1,154 @@
+"""Picklable scheme recipes: what travels between processes and disk.
+
+A :class:`SchemeSpec` is the *recipe* for one scheme — registry name
+plus typed parameter overrides — stored as a frozen, hashable tuple of
+pairs so it can ride through :class:`~repro.experiments.registry.ScenarioParams`,
+experiment cell params (the parallel executor pickles those), and the
+corpus manifest (JSON) without ever pickling a live object.  A *stack*
+is simply a tuple of specs; :func:`parse_stack` reads the CLI's
+``NAME[+NAME...]`` composition syntax.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "SchemeSpec",
+    "coerce_value",
+    "parse_stack",
+    "specs_from_json",
+    "specs_to_json",
+    "stack_label",
+]
+
+
+def coerce_value(name: str, default: object, value: object) -> object:
+    """Coerce ``value`` to ``default``'s type (the registry's param typing).
+
+    Booleans accept the usual spellings; numbers and strings round-trip
+    through their constructors so CLI text and JSON values land on the
+    declared type.  Failures name the parameter.
+    """
+    try:
+        if isinstance(default, bool):
+            if isinstance(value, bool):
+                return value
+            text = str(value).strip().lower()
+            if text in ("1", "true", "yes", "on"):
+                return True
+            if text in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"cannot interpret {value!r} as a boolean")
+        if isinstance(default, (int, float, str)):
+            return type(default)(value)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"bad value for scheme parameter {name!r}: {error}") from None
+    raise TypeError(
+        f"scheme parameter {name!r} has unsupported default type "
+        f"{type(default).__name__}"
+    )  # pragma: no cover - registration-time invariant
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One scheme's recipe: registry name + typed parameter overrides.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs (not a dict)
+    so specs are hashable — they key process-local scheme memos — and
+    picklable with a stable equality.  Use :meth:`with_params` to
+    derive variants and :meth:`as_dict` / :meth:`from_dict` for the
+    JSON form persisted in corpus manifests.
+    """
+
+    scheme: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if not self.scheme:
+            raise ValueError("a SchemeSpec needs a scheme name")
+        object.__setattr__(self, "scheme", str(self.scheme))
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(k), v) for k, v in tuple(self.params))),
+        )
+
+    def param_dict(self) -> dict[str, object]:
+        """The overrides as a plain dict."""
+        return dict(self.params)
+
+    def with_params(self, **overrides: object) -> "SchemeSpec":
+        """A copy with ``overrides`` merged over the existing params."""
+        merged = self.param_dict()
+        merged.update(overrides)
+        return SchemeSpec(self.scheme, tuple(merged.items()))
+
+    @property
+    def label(self) -> str:
+        """Human/CLI-facing spelling: ``or`` or ``or(interfaces=5)``."""
+        if not self.params:
+            return self.scheme
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scheme}({inner})"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe form (corpus manifests, provenance records)."""
+        return {"scheme": self.scheme, "params": self.param_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SchemeSpec":
+        """Inverse of :meth:`as_dict` (tolerates missing ``params``)."""
+        try:
+            name = payload["scheme"]
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"not a scheme spec: {payload!r} (expected a mapping with a "
+                "'scheme' key)"
+            ) from None
+        params = payload.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ValueError(
+                f"scheme spec params must be a mapping, got {params!r}"
+            )
+        return cls(str(name), tuple(params.items()))
+
+
+def parse_stack(text: str | Sequence[SchemeSpec]) -> tuple[SchemeSpec, ...]:
+    """Parse the CLI composition syntax ``NAME[+NAME...]`` into specs.
+
+    Already-parsed spec sequences pass through, so callers can accept
+    either form.  Names are validated later, against the registry
+    (:func:`~repro.schemes.registry.build_stack`), not here.
+    """
+    if not isinstance(text, str):
+        specs = tuple(text)
+        if not all(isinstance(spec, SchemeSpec) for spec in specs):
+            raise TypeError("expected a composition string or SchemeSpec sequence")
+        if not specs:
+            raise ValueError("a scheme stack needs at least one scheme")
+        return specs
+    names = [part.strip() for part in text.split("+")]
+    if not names or any(not name for name in names):
+        raise ValueError(
+            f"bad scheme composition {text!r}; expected NAME or NAME+NAME[+...]"
+        )
+    return tuple(SchemeSpec(name) for name in names)
+
+
+def stack_label(specs: Sequence[SchemeSpec]) -> str:
+    """The canonical ``a+b+c`` spelling of a composition."""
+    return "+".join(spec.scheme for spec in specs)
+
+
+def specs_to_json(specs: Sequence[SchemeSpec]) -> list[dict[str, object]]:
+    """Manifest form of a stack: a list of :meth:`SchemeSpec.as_dict`."""
+    return [spec.as_dict() for spec in specs]
+
+
+def specs_from_json(payload: object) -> tuple[SchemeSpec, ...]:
+    """Inverse of :func:`specs_to_json`, with loud structural errors."""
+    if not isinstance(payload, Sequence) or isinstance(payload, (str, bytes)):
+        raise ValueError(f"not a scheme spec list: {payload!r}")
+    return tuple(SchemeSpec.from_dict(item) for item in payload)

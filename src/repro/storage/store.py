@@ -197,6 +197,7 @@ class TraceStoreWriter:
         path: str,
         scenario: Mapping[str, object] | None = None,
         meta: Mapping[str, object] | None = None,
+        schemes: Sequence[Mapping[str, object]] | None = None,
         overwrite: bool = False,
     ):
         path = str(path)
@@ -213,6 +214,7 @@ class TraceStoreWriter:
         os.makedirs(path, exist_ok=True)
         self._path = path
         self._scenario = dict(scenario) if scenario is not None else None
+        self._schemes = [dict(spec) for spec in schemes] if schemes is not None else None
         self._meta = dict(meta) if meta is not None else {}
         # "wb" truncates: overwriting an existing store can never leave
         # stale column bytes behind the new manifest.
@@ -367,6 +369,12 @@ class TraceStoreWriter:
             "meta": self._meta,
             "traces": [entry.to_json() for entry in self._entries],
         }
+        # Optional key: a defense-scheme recipe attached to the corpus
+        # (see docs/trace-format.md).  Omitted entirely when absent so
+        # pre-scheme manifests stay byte-stable; old readers ignore it,
+        # hence no version bump.
+        if self._schemes is not None:
+            manifest["schemes"] = self._schemes
         try:
             text = json.dumps(manifest, indent=2, allow_nan=False)
         except ValueError as error:
@@ -430,6 +438,7 @@ class TraceStore:
         path = self.path
         self.packets = int(manifest["packets"])
         self.scenario: dict | None = manifest.get("scenario")
+        self.schemes: list | None = manifest.get("schemes")
         self.meta: dict = manifest.get("meta") or {}
         columns = manifest.get("columns") or {}
         if set(columns) != set(COLUMN_DTYPES) or any(
@@ -491,16 +500,40 @@ class TraceStore:
         """Open an existing store read-only."""
         return cls(path)
 
+    def scheme_specs(self):
+        """The defense-scheme recipe attached to this corpus, parsed.
+
+        Returns a tuple of :class:`~repro.schemes.SchemeSpec` (empty
+        when the manifest carries no ``schemes`` key).  The recipe is
+        provenance: it names the scheme stack the corpus was built for,
+        and :func:`repro.schemes.build_stack` rehydrates it to a scheme
+        whose output is bit-identical to the one recorded (the
+        round-trip the integration tests assert).
+        """
+        if not self.schemes:
+            return ()
+        from repro.schemes.spec import specs_from_json
+
+        try:
+            return specs_from_json(self.schemes)
+        except ValueError as error:
+            raise StoreFormatError(
+                f"{self.path!r}: malformed schemes recipe: {error}"
+            ) from None
+
     @classmethod
     def create(
         cls,
         path: str,
         scenario: Mapping[str, object] | None = None,
         meta: Mapping[str, object] | None = None,
+        schemes: Sequence[Mapping[str, object]] | None = None,
         overwrite: bool = False,
     ) -> TraceStoreWriter:
         """Start writing a new store at ``path`` (a directory)."""
-        return TraceStoreWriter(path, scenario=scenario, meta=meta, overwrite=overwrite)
+        return TraceStoreWriter(
+            path, scenario=scenario, meta=meta, schemes=schemes, overwrite=overwrite
+        )
 
     # -- access ------------------------------------------------------------
 

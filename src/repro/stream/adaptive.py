@@ -66,6 +66,25 @@ class AdaptiveReshaper:
     ):
         require(0.0 < confidence_threshold <= 1.0, "confidence_threshold must be in (0, 1]")
         require(cooldown >= 0.0, "cooldown must be >= 0")
+        if not isinstance(base, Reshaper):
+            # Accept the unified Scheme interface: the adaptive loop
+            # schedules packet by packet, so it drives the *same*
+            # scheduler object the batch path evaluates, unwrapped.
+            from repro.schemes import Scheme
+
+            if isinstance(base, Scheme):
+                unwrapped = base.reshaper
+                if unwrapped is None:
+                    raise TypeError(
+                        f"scheme {base.name!r} has no per-packet scheduler; "
+                        "the adaptive defender needs a reshaper-backed scheme"
+                    )
+                base = unwrapped
+            else:
+                raise TypeError(
+                    f"base must be a Reshaper or reshaper-backed Scheme, "
+                    f"got {type(base).__name__}"
+                )
         self._base = base
         self.confidence_threshold = float(confidence_threshold)
         self.cooldown = float(cooldown)

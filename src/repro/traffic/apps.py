@@ -32,7 +32,7 @@ from repro.traffic.arrivals import (
     ConstantRateArrivals,
     PoissonArrivals,
 )
-from repro.traffic.packet import DOWNLINK, UPLINK, Direction
+from repro.traffic.packet import DOWNLINK, Direction
 from repro.traffic.sizes import SizeComponent, SizeMixture
 
 __all__ = ["AppType", "ALL_APPS", "DirectionModel", "AppModel", "APP_MODELS", "app_model"]

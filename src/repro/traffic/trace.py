@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.traffic.packet import DOWNLINK, UPLINK, Direction, Packet
+from repro.traffic.packet import DOWNLINK, Direction, Packet
 
 __all__ = ["Trace", "concat_traces", "merge_traces"]
 

@@ -1,8 +1,5 @@
 """Integration: the DES WLAN — handshake, replay, sniffer, linking."""
 
-import numpy as np
-import pytest
-
 from repro.analysis.linking import RssiLinker, linking_accuracy
 from repro.core.schedulers import OrthogonalReshaper
 from repro.net.channel import Position

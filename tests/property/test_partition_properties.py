@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import ReshapingEngine
-from repro.core.optimization import ReshapingObjective, interface_distributions
+from repro.core.optimization import interface_distributions
 from repro.core.schedulers import (
     FrequencyHoppingScheduler,
     ModuloReshaper,

@@ -1,0 +1,115 @@
+"""Property tests on scheme-stack composition.
+
+Any composition of registered schemes must (a) emit flows that are
+valid :class:`~repro.traffic.trace.Trace` objects — sorted non-negative
+times, strictly positive sizes, in-range direction/channel columns —
+and (b) roll up overhead accounting additively across stages.  Packet
+and byte conservation is asserted where the stage set implies it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import SchemeSpec, build_stack, stack_label
+from repro.traffic.sizes import MAX_PACKET_SIZE
+from repro.traffic.trace import Trace
+
+#: Stages drawn for random compositions.  Morphing is exercised in its
+#: own test (its target-trace generation dominates runtime); the
+#: remaining schemes keep each example fast.
+_STACKABLE = ("original", "fh", "ra", "rr", "or", "modulo", "padding", "pseudonym")
+
+#: Schemes that only relabel packets (packet & byte conserving).
+_CONSERVING = {"original", "fh", "ra", "rr", "or", "modulo", "pseudonym"}
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.0, max_value=1.5), min_size=n, max_size=n)
+    )
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=MAX_PACKET_SIZE), min_size=n, max_size=n
+        )
+    )
+    directions = draw(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=n, max_size=n)
+    )
+    label = draw(st.sampled_from(["browsing", "chatting", "video", None]))
+    return Trace.from_arrays(
+        np.cumsum(np.asarray(gaps)), sizes, directions=directions, label=label
+    )
+
+
+@st.composite
+def compositions(draw):
+    names = draw(
+        st.lists(st.sampled_from(_STACKABLE), min_size=1, max_size=3)
+    )
+    return tuple(SchemeSpec(name) for name in names)
+
+
+def assert_valid_flow(flow: Trace) -> None:
+    assert len(flow) > 0 or flow.times.size == 0
+    assert np.all(flow.sizes > 0)
+    assert np.all(flow.times >= 0)
+    assert np.all(np.diff(flow.times) >= 0)
+    assert np.all((flow.directions == 0) | (flow.directions == 1))
+    assert np.all(flow.ifaces >= 0)
+    assert np.all(flow.channels >= 1)
+
+
+@given(trace=traces(), specs=compositions(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_stack_preserves_trace_invariants(trace, specs, seed):
+    defended = build_stack(specs, seed=seed).apply(trace)
+    assert defended.original is trace
+    for flow in defended.observable_flows:
+        assert_valid_flow(flow)
+
+
+@given(trace=traces(), specs=compositions(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_overhead_accounting_is_additive(trace, specs, seed):
+    defended = build_stack(specs, seed=seed).apply(trace)
+    assert len(defended.stages) == len(specs)
+    assert defended.extra_bytes == sum(s.extra_bytes for s in defended.stages)
+    assert defended.handshake_bytes == sum(
+        s.handshake_bytes for s in defended.stages
+    )
+    assert defended.extra_bytes >= 0
+    assert defended.handshake_bytes >= 0
+    # The manifest label and the stage accounting must agree on order.
+    assert tuple(s.scheme for s in defended.stages) == tuple(
+        spec.scheme for spec in specs
+    )
+    assert stack_label(specs) == "+".join(s.scheme for s in defended.stages)
+
+
+@given(trace=traces(), specs=compositions(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_conserving_stacks_conserve_packets_and_bytes(trace, specs, seed):
+    defended = build_stack(specs, seed=seed).apply(trace)
+    names = {spec.scheme for spec in specs}
+    total_packets = sum(len(flow) for flow in defended.observable_flows)
+    total_bytes = sum(flow.total_bytes for flow in defended.observable_flows)
+    if names <= _CONSERVING:
+        assert total_packets == len(trace)
+        assert total_bytes == trace.total_bytes
+        assert defended.extra_bytes == 0
+    else:  # padding in the mix: bytes may only grow, and the growth is booked
+        assert total_packets == len(trace)
+        assert total_bytes == trace.total_bytes + defended.extra_bytes
+
+
+@given(trace=traces(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_morphing_stack_books_fragmentation(trace, seed):
+    defended = build_stack("morphing+or", seed=seed).apply(trace)
+    for flow in defended.observable_flows:
+        assert_valid_flow(flow)
+    total_bytes = sum(flow.total_bytes for flow in defended.observable_flows)
+    assert total_bytes == trace.total_bytes + defended.extra_bytes

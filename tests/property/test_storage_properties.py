@@ -7,7 +7,6 @@ reproduce every column exactly (bitwise, not approximately), and
 reopening a store is idempotent.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.defenses.morphing import (
-    MorphingMatrix,
     TrafficMorphing,
     monotone_coupling,
     morphing_matrix_lp,

@@ -5,7 +5,6 @@ import pytest
 import repro.experiments  # noqa: F401  (importing registers every spec)
 from repro.experiments import registry
 from repro.experiments.registry import (
-    ExperimentSpec,
     ScenarioParams,
     make_cell,
     parse_number_list,

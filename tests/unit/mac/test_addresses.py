@@ -1,6 +1,5 @@
 """Tests for MAC addresses and the paper's privacy arithmetic."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the Fig. 2 configuration handshake."""
 
-import numpy as np
 import pytest
 
 from repro.mac.addresses import MacAddress

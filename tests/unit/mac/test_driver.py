@@ -1,6 +1,5 @@
 """Tests for the client driver."""
 
-import numpy as np
 import pytest
 
 from repro.core.schedulers import OrthogonalReshaper

@@ -1,6 +1,5 @@
 """Tests for the AP's MAC address pool."""
 
-import numpy as np
 import pytest
 
 from repro.mac.addresses import MacAddress

@@ -1,6 +1,5 @@
 """Tests for the AP resource manager."""
 
-import numpy as np
 import pytest
 
 from repro.mac.addresses import MacAddress

@@ -1,0 +1,103 @@
+"""SchemeSpec: parsing, canonical form, JSON round trip."""
+
+import pickle
+
+import pytest
+
+from repro.schemes import (
+    SchemeSpec,
+    canonical_stack,
+    parse_stack,
+    specs_from_json,
+    specs_to_json,
+    stack_label,
+)
+
+
+class TestSchemeSpec:
+    def test_params_are_sorted_and_hashable(self):
+        a = SchemeSpec("or", (("interfaces", 3), ("boundaries", "")))
+        b = SchemeSpec("or", (("boundaries", ""), ("interfaces", 3)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a, b} == {a}
+
+    def test_picklable(self):
+        spec = SchemeSpec("ra", (("interfaces", 5),))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_with_params_merges(self):
+        spec = SchemeSpec("or", (("interfaces", 3),))
+        derived = spec.with_params(interfaces=5, boundaries="1,2")
+        assert derived.param_dict() == {"interfaces": 5, "boundaries": "1,2"}
+        assert spec.param_dict() == {"interfaces": 3}  # original untouched
+
+    def test_label_spelling(self):
+        assert SchemeSpec("padding").label == "padding"
+        assert SchemeSpec("or", (("interfaces", 5),)).label == "or(interfaces=5)"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="needs a scheme name"):
+            SchemeSpec("")
+
+    def test_json_round_trip(self):
+        specs = (
+            SchemeSpec("padding", (("pad_to", 1576),)),
+            SchemeSpec("or", (("interfaces", 3),)),
+        )
+        assert specs_from_json(specs_to_json(specs)) == specs
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a scheme spec"):
+            SchemeSpec.from_dict({"params": {}})
+        with pytest.raises(ValueError, match="params must be a mapping"):
+            SchemeSpec.from_dict({"scheme": "or", "params": [1, 2]})
+        with pytest.raises(ValueError, match="not a scheme spec list"):
+            specs_from_json("padding+or")
+
+
+class TestParseStack:
+    def test_single_and_composed(self):
+        assert parse_stack("or") == (SchemeSpec("or"),)
+        assert parse_stack("padding+or+fh") == (
+            SchemeSpec("padding"),
+            SchemeSpec("or"),
+            SchemeSpec("fh"),
+        )
+
+    def test_whitespace_tolerated(self):
+        assert parse_stack(" padding + or ") == (
+            SchemeSpec("padding"),
+            SchemeSpec("or"),
+        )
+
+    def test_specs_pass_through(self):
+        specs = (SchemeSpec("or"),)
+        assert parse_stack(specs) == specs
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError, match="bad scheme composition"):
+            parse_stack("padding++or")
+        with pytest.raises(ValueError, match="bad scheme composition"):
+            parse_stack("")
+        with pytest.raises(ValueError, match="at least one scheme"):
+            parse_stack(())
+        with pytest.raises(TypeError):
+            parse_stack((object(),))
+
+    def test_stack_label_round_trip(self):
+        assert stack_label(parse_stack("padding+or")) == "padding+or"
+
+
+class TestCanonicalStack:
+    def test_aliases_fold_to_registry_names(self):
+        assert stack_label(canonical_stack("OR+FH")) == "or+fh"
+        assert canonical_stack("Original") == (SchemeSpec("original"),)
+
+    def test_params_survive_canonicalization(self):
+        (spec,) = canonical_stack((SchemeSpec("OR", (("interfaces", 5),)),))
+        assert spec == SchemeSpec("or", (("interfaces", 5),))
+
+    def test_unknown_scheme_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="registered schemes"):
+            canonical_stack("padding+nosuch")

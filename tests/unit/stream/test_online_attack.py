@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.attack import AttackPipeline
-from repro.analysis.classifiers import GaussianNaiveBayes, KNearestNeighbors, LinearSvm
+from repro.analysis.classifiers import GaussianNaiveBayes, KNearestNeighbors
 from repro.core.schedulers import OrthogonalReshaper, RoundRobinReshaper
 from repro.stream import (
     AdaptiveReshaper,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.traffic.packet import DOWNLINK, UPLINK, Direction, Packet
+from repro.traffic.packet import DOWNLINK, UPLINK, Packet
 
 
 class TestDirection:

@@ -1,7 +1,6 @@
 """Tests for structured experiment artifacts (util/results.py)."""
 
 import json
-import math
 
 import numpy as np
 import pytest
