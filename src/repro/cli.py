@@ -208,6 +208,35 @@ def build_parser() -> argparse.ArgumentParser:
     # default to one worker per CPU rather than serial-only.
     bench_parser.set_defaults(jobs=0)
 
+    lint_parser = commands.add_parser(
+        "lint", help="check the repo's determinism/picklability invariants",
+        description="Run the AST-based invariant linter (rules R1..R7: "
+        "global RNG state, wall-clock/nondeterminism, Trace._trusted "
+        "confinement, registry picklability contracts, mutable pitfalls, "
+        "silent exception swallowing, SchemeSpec literal safety) over "
+        "python sources.  Exit codes: 0 clean, 1 findings, 2 engine "
+        "error (bad paths or rule names).",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+        "repro package source tree)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s); json follows the "
+        "stable schema consumed by the lint-invariants CI artifact",
+    )
+    lint_parser.add_argument(
+        "--rules", default=None, metavar="NAME[,NAME...]",
+        help="run only these rules (comma-separated; unknown names are "
+        "a loud error listing the valid rules); default: all rules",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules with codes and invariants, then exit",
+    )
+
     corpus_parser = commands.add_parser(
         "corpus", help="build, inspect, and run against on-disk corpora",
         description="Persist a scenario's traffic as a columnar trace "
@@ -617,6 +646,72 @@ def _print_corpus_summary(store, fmt: str = "text") -> None:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import (
+        LintError,
+        findings_to_json,
+        lint_paths,
+        resolve_rules,
+    )
+
+    try:
+        names = None
+        if args.rules is not None:
+            names = [part.strip() for part in args.rules.split(",") if part.strip()]
+        rules = resolve_rules(names)
+        if args.list_rules:
+            if args.format == "json":
+                payload = [
+                    {
+                        "code": rule.code,
+                        "name": rule.name,
+                        "severity": rule.severity,
+                        "summary": rule.summary,
+                        "invariant": rule.invariant,
+                    }
+                    for rule in rules
+                ]
+                print(json.dumps(payload, indent=2))
+            else:
+                print(
+                    format_table(
+                        ["code", "rule", "severity", "enforces"],
+                        [[r.code, r.name, r.severity, r.summary] for r in rules],
+                        title="repro lint rules "
+                        "(suppress inline: # repro-lint: allow[rule]: reason)",
+                    )
+                )
+            return 0
+        if args.paths:
+            targets = list(args.paths)
+        else:
+            # Default target: the package source this interpreter would
+            # import — right both in a checkout (src/repro) and when
+            # pointed at an installed tree.
+            from pathlib import Path
+
+            import repro
+
+            targets = [str(Path(repro.__file__).parent)]
+        findings = lint_paths(targets, rules=rules)
+    except LintError as error:
+        raise _UsageError(str(error)) from error
+
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    if args.format == "json":
+        print(json.dumps(findings_to_json(findings, rules=rules), indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        checked = ", ".join(rule.name for rule in rules)
+        print(
+            f"repro lint: {len(findings)} finding(s) "
+            f"({errors} error(s)) [rules: {checked}]",
+            file=sys.stderr,
+        )
+    return 1 if errors else 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.storage import StoreFormatError, TraceStore
 
@@ -669,6 +764,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "corpus":
             return _cmd_corpus(args)
     except _UsageError as error:

@@ -1,0 +1,35 @@
+"""Developer tooling that enforces the repo's documented invariants.
+
+``repro lint`` (:mod:`repro.devtools.lint`) is an AST-based linter with
+repo-specific rules — determinism, picklability, trusted-constructor
+confinement — the static half of the correctness tooling next to the
+bit-identity goldens (which catch the same drift *late*; the linter
+catches it at the line that introduces it).  See docs/architecture.md
+§"Correctness tooling" for the rule-by-rule invariant map.
+"""
+
+from repro.devtools.lint import (
+    Finding,
+    LintError,
+    Rule,
+    all_rules,
+    findings_to_json,
+    lint_file,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+    rule_names,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "all_rules",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "resolve_rules",
+    "rule_names",
+]

@@ -1,0 +1,557 @@
+"""``repro lint``: the AST-based invariant linter's rule engine.
+
+Five PRs of growth rest on conventions that nothing checked statically:
+every RNG stream flows from :func:`repro.util.rng.derive_seed`, cells
+registered with :mod:`repro.experiments.registry` are module-level
+picklables, ``Trace._trusted`` appears only in invariant-preserving
+modules, and hot paths never touch wall-clock or global RNG state.
+This module is the engine that enforces them: a rule registry, per-rule
+severity, :class:`Finding` locations, and inline suppressions.
+
+Suppression syntax (the *reason is required* — a suppression without a
+justification is itself a finding)::
+
+    key = (id(flow), ...)  # repro-lint: allow[nondeterminism]: process-local cache
+
+A suppression covers findings of the named rule(s) on its own line; a
+comment-only line covers the line directly below it.  A suppression
+that suppresses nothing is an error (``unused suppression``), so stale
+annotations cannot outlive the code they excused.
+
+Rules live in :mod:`repro.devtools.rules`, one module per invariant;
+importing this package registers all of them.  The three consumers —
+``repro lint`` (CLI), the tier-1 zero-findings pytest, and the
+``lint-invariants`` CI job — all call :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintError",
+    "Rule",
+    "all_rules",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "resolve_rules",
+    "rule_names",
+]
+
+#: Engine-level findings (suppression misuse, unparseable files) carry
+#: these pseudo-rule names; they are always errors and can never be
+#: suppressed (a suppression problem excusing itself would be circular).
+SUPPRESSION_RULE = "suppression"
+SYNTAX_RULE = "syntax-error"
+
+
+class LintError(Exception):
+    """An engine misuse (unknown rule name, unreadable path) — not a finding."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at an exact source location.
+
+    ``line`` is 1-based and ``col`` 0-based (the ``ast`` convention), so
+    ``file:line:col`` is clickable in editors and CI logs.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.rule} [{self.severity}]: {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check.
+
+    Args:
+        name: stable identifier — the ``--rules`` / ``allow[...]``
+            spelling.
+        code: short ordinal (``R1`` ... ``R7``) used in docs.
+        summary: one-line description for ``repro lint --help`` texts
+            and the JSON header.
+        invariant: the convention the rule encodes and where it came
+            from (docs/architecture.md cites these).
+        check: ``(FileContext) -> Iterable[(line, col, message)]`` —
+            yields raw findings for one parsed file.
+        severity: ``"error"`` findings fail the run (exit 1);
+            ``"warning"`` findings are reported but do not.
+    """
+
+    name: str
+    code: str
+    summary: str
+    invariant: str
+    check: Callable[["FileContext"], Iterable[tuple[int, int, str]]]
+    severity: str = "error"
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry; duplicate names are a bug."""
+    if rule.name in _RULES:
+        raise ValueError(f"lint rule {rule.name!r} is already registered")
+    if rule.name in (SUPPRESSION_RULE, SYNTAX_RULE):
+        raise ValueError(f"rule name {rule.name!r} is reserved for the engine")
+    _RULES[rule.name] = rule
+    return rule
+
+
+def _load_rules() -> None:
+    # Deferred so `import repro.devtools.lint` from a rule module never
+    # recurses; rules self-register on first use of the registry.
+    if not _RULES:
+        from repro.devtools import rules  # noqa: F401  (registers all rules)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in registration (R1..R7) order."""
+    _load_rules()
+    return tuple(_RULES.values())
+
+
+def rule_names() -> tuple[str, ...]:
+    """Registered rule names, in registration order."""
+    return tuple(rule.name for rule in all_rules())
+
+
+def resolve_rules(names: Sequence[str] | None = None) -> tuple[Rule, ...]:
+    """The rules selected by ``names`` (all of them when ``None``).
+
+    Unknown names raise :class:`LintError` listing the valid rules, so
+    a typo'd ``--rules`` is a loud engine error (exit 2), never a
+    silently-narrowed run.
+    """
+    rules = all_rules()
+    if names is None:
+        return rules
+    by_name = {rule.name: rule for rule in rules}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        valid = ", ".join(by_name)
+        raise LintError(
+            f"unknown lint rule(s) {', '.join(repr(n) for n in unknown)}; "
+            f"valid rules: {valid}"
+        )
+    if not names:
+        raise LintError(f"no rules selected; valid rules: {', '.join(by_name)}")
+    return tuple(by_name[name] for name in names)
+
+
+# ----------------------------------------------------------------------
+# Per-file context: parsed tree + the scoping/lookup helpers rules share
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Local name -> fully-qualified origin, from a module's imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from time import
+    perf_counter`` maps ``perf_counter`` to ``time.perf_counter``; the
+    resolver then rewrites call sites (``np.random.rand`` ->
+    ``numpy.random.rand``) so rules match on canonical dotted paths no
+    matter how the module spelled its imports.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.origins: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    self.origins[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.origins[local] = f"{node.module}.{alias.name}"
+
+    def resolve(
+        self, node: ast.expr, *, require_import: bool = False
+    ) -> str | None:
+        """Canonical dotted origin of a Name/Attribute chain.
+
+        With ``require_import=True``, a chain whose head is not an
+        imported name resolves to ``None`` instead of echoing the raw
+        dotted text — rules matching on *module* origins (``random.*``,
+        ``time.*``) use this so a local variable that happens to share
+        a module's name can never false-positive.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.origins.get(head)
+        if origin is None:
+            return None if require_import else dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    path: str
+    rel: str
+    tree: ast.Module
+    lines: list[str]
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+
+    @property
+    def in_package(self) -> bool:
+        """True when the file is part of the ``repro`` package tree.
+
+        Path-scoped rules only restrict themselves *inside* the package
+        (benchmark allowlists, invariant-preserving module allowlists);
+        loose files — rule fixtures, ad-hoc ``repro lint somefile.py``
+        targets — are always fully in scope.
+        """
+        return self.rel == "repro" or self.rel.startswith("repro/")
+
+    def module_functions(self) -> set[str]:
+        """Names bound to module-level ``def``/``async def``."""
+        return {
+            node.name
+            for node in self.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+
+def logical_path(path: Path) -> str:
+    """The package-relative posix path rules scope on.
+
+    ``.../src/repro/analysis/batch.py`` becomes
+    ``repro/analysis/batch.py`` wherever the tree is checked out or
+    installed; files outside any ``repro`` package keep their basename
+    (and are treated as fully in scope — see
+    :attr:`FileContext.in_package`).
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            candidate = Path(*parts[: index + 1])
+            if (candidate / "__init__.py").is_file():
+                return str(PurePosixPath(*parts[index:]))
+    return resolved.name
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?::\s*(?P<reason>.*\S))?\s*$"
+)
+_MARKER_RE = re.compile(r"repro-lint")
+
+
+@dataclass
+class _Suppression:
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    reason: str
+    own_line: bool
+    used: bool = False
+
+
+def _parse_suppressions(
+    source: str, file: str
+) -> tuple[list[_Suppression], list[Finding]]:
+    """Extract ``allow[...]`` comments; malformed ones become findings."""
+    suppressions: list[_Suppression] = []
+    problems: list[Finding] = []
+    known = set(rule_names())
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:  # unterminated strings etc.; ast already failed
+        return [], []
+
+    def problem(token: tokenize.TokenInfo, message: str) -> None:
+        problems.append(
+            Finding(
+                file=file,
+                line=token.start[0],
+                col=token.start[1],
+                rule=SUPPRESSION_RULE,
+                message=message,
+            )
+        )
+
+    for token in comments:
+        text = token.string
+        if not _MARKER_RE.search(text):
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            problem(
+                token,
+                f"malformed repro-lint comment {text.strip()!r}; expected "
+                "'# repro-lint: allow[rule]: reason'",
+            )
+            continue
+        names = tuple(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not names:
+            problem(token, "suppression names no rule; expected allow[rule]")
+            continue
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            valid = ", ".join(sorted(known))
+            problem(
+                token,
+                f"suppression for unknown rule(s) "
+                f"{', '.join(repr(n) for n in unknown)}; valid rules: {valid}",
+            )
+            continue
+        if not reason:
+            problem(
+                token,
+                f"suppression for {', '.join(names)} needs a non-empty "
+                "reason: '# repro-lint: allow[rule]: why this is safe'",
+            )
+            continue
+        line_text = ""
+        line_index = token.start[0] - 1
+        source_lines = source.splitlines()
+        if 0 <= line_index < len(source_lines):
+            line_text = source_lines[line_index]
+        own_line = line_text[: token.start[1]].strip() == ""
+        suppressions.append(
+            _Suppression(
+                line=token.start[0],
+                col=token.start[1],
+                rules=names,
+                reason=reason,
+                own_line=own_line,
+            )
+        )
+    return suppressions, problems
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[_Suppression],
+    selected: Sequence[Rule],
+    file: str,
+) -> list[Finding]:
+    """Drop suppressed findings; flag suppressions that earn nothing."""
+    by_line: dict[int, list[_Suppression]] = {}
+    for suppression in suppressions:
+        # A comment on its own line covers the next line; an inline
+        # comment covers its own.
+        target = suppression.line + 1 if suppression.own_line else suppression.line
+        by_line.setdefault(target, []).append(suppression)
+
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.rule in (SUPPRESSION_RULE, SYNTAX_RULE):
+            kept.append(finding)
+            continue
+        matched = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used = True
+                matched = True
+        if not matched:
+            kept.append(finding)
+
+    # Only suppressions for rules that actually ran can be judged
+    # unused: running `--rules global-rng` must not condemn an
+    # `allow[silent-except]` elsewhere in the file.
+    active = {rule.name for rule in selected}
+    for suppression in suppressions:
+        if not suppression.used and set(suppression.rules) & active:
+            kept.append(
+                Finding(
+                    file=file,
+                    line=suppression.line,
+                    col=suppression.col,
+                    rule=SUPPRESSION_RULE,
+                    message=(
+                        f"unused suppression allow[{', '.join(suppression.rules)}] "
+                        "— the code below no longer violates it; delete the comment"
+                    ),
+                )
+            )
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    *,
+    file: str = "<string>",
+    rel: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint python ``source`` text (the engine core; file-system free).
+
+    ``rel`` is the logical package path used by path-scoped rules;
+    tests pass e.g. ``rel="repro/analysis/x.py"`` to place a snippet
+    inside the tree without touching disk.
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    rel = rel if rel is not None else file
+    try:
+        tree = ast.parse(source, filename=file)
+    except SyntaxError as error:
+        return [
+            Finding(
+                file=file,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule=SYNTAX_RULE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = FileContext(
+        path=file, rel=rel, tree=tree, lines=source.splitlines()
+    )
+    findings: list[Finding] = []
+    for rule in selected:
+        for line, col, message in rule.check(context):
+            findings.append(
+                Finding(
+                    file=file,
+                    line=line,
+                    col=col,
+                    rule=rule.name,
+                    message=message,
+                    severity=rule.severity,
+                )
+            )
+    suppressions, problems = _parse_suppressions(source, file)
+    findings.extend(problems)
+    findings = _apply_suppressions(findings, suppressions, selected, file)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    rules: Sequence[Rule] | None = None,
+    rel: str | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    return lint_source(
+        source,
+        file=str(path),
+        rel=rel if rel is not None else logical_path(path),
+        rules=rules,
+    )
+
+
+def _iter_python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        yield path
+        return
+    yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint files and directories (recursing into ``*.py``), in order.
+
+    Missing paths raise :class:`LintError` — an invariant run that
+    silently checked nothing would be worse than no run at all.
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        for file_path in _iter_python_files(path):
+            findings.extend(lint_file(file_path, rules=selected))
+    return findings
+
+
+def findings_to_json(
+    findings: Sequence[Finding],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> dict[str, object]:
+    """The stable JSON schema of ``repro lint --format json``.
+
+    ``{"version": 1, "rules": [names run], "count": N, "errors": N,
+    "findings": [{file, line, col, rule, severity, message}, ...]}``
+    — consumed by the CI artifact; extend additively only.
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    return {
+        "version": 1,
+        "rules": [rule.name for rule in selected],
+        "count": len(findings),
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }

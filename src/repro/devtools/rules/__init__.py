@@ -1,0 +1,18 @@
+"""The built-in rule set — importing this package registers R1..R7.
+
+One module per invariant; registration order fixes the R-codes and the
+order rules run (and report) in.  Adding a rule is: write the module,
+import it here, document the invariant in docs/architecture.md's
+"Correctness tooling" table, and add fixture-backed positive/negative
+tests under tests/devtools/.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  (imports register the rules)
+    rng,
+    nondeterminism,
+    trusted,
+    registry_contracts,
+    pitfalls,
+    exceptions,
+    spec_literals,
+)

@@ -1,0 +1,100 @@
+"""R6 ``silent-except``: no swallowed errors where loud failure is policy.
+
+PR 4 set the error policy for everything that touches user data and
+disk: malformed input fails *loudly, naming the file and offset*
+(``StoreFormatError``, CSV row errors), never silently skipping or
+returning partial state — a corpus that silently dropped rows would
+poison every downstream golden.  A bare ``except:`` or an over-broad
+``except Exception: pass`` is how that policy erodes one convenience
+at a time.
+
+Scope inside the package: ``storage/``, ``traffic/io.py``, and
+``cli.py`` (the PR 4 loud-errors surface).  Flagged:
+
+* bare ``except:`` — always (it even catches ``KeyboardInterrupt``);
+* ``except Exception`` / ``except BaseException`` whose handler
+  neither re-raises nor reports (no ``raise``, no logging/warn/print)
+  — catching everything and continuing is indistinguishable from
+  correctness until the golden diff arrives weeks later.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, register_rule
+
+SCOPED_PREFIXES = ("repro/storage/", "repro/traffic/io.py", "repro/cli.py")
+_BROAD = ("Exception", "BaseException")
+_REPORTING_CALLS = ("print", "warn", "warning", "error", "exception", "critical", "log")
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    if not ctx.in_package:
+        return True
+    return any(ctx.rel.startswith(prefix) for prefix in SCOPED_PREFIXES)
+
+
+def _names_broad(type_node: ast.expr | None) -> bool:
+    if type_node is None:
+        return False
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    return any(
+        isinstance(node, ast.Name) and node.id in _BROAD for node in nodes
+    )
+
+
+def _handles_loudly(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _REPORTING_CALLS:
+                return True
+    return False
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    if not _in_scope(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "bare 'except:' catches everything including "
+                "KeyboardInterrupt; name the exceptions this code can "
+                "actually handle (loud-errors policy, PR 4)",
+            )
+        elif _names_broad(node.type) and not _handles_loudly(node):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "broad 'except Exception' that neither re-raises nor "
+                "reports swallows real defects; narrow the exception "
+                "types, or re-raise with file/offset context",
+            )
+
+
+register_rule(
+    Rule(
+        name="silent-except",
+        code="R6",
+        summary=(
+            "no bare except / silently-swallowed broad except in storage, "
+            "traffic/io.py, or cli.py"
+        ),
+        invariant=(
+            "I/O errors fail loudly naming file and offset "
+            "(PR 4 loud-errors policy)"
+        ),
+        check=_check,
+    )
+)

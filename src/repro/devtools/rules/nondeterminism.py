@@ -1,0 +1,108 @@
+"""R2 ``nondeterminism``: no wall-clock or ambient entropy on hot paths.
+
+Kernels, experiments, schemes, streaming, and storage must be pure
+functions of their inputs and seeds: ``jobs=N`` is asserted
+bit-identical to serial, goldens are frozen byte-exact, and corpus
+replay must reproduce generation.  Wall-clock reads (``time.time``,
+``datetime.now``), OS entropy (``os.urandom``, ``uuid.uuid4``,
+``secrets``), and ``id()``-derived keys (stable only within one
+process — poison the moment they cross a pickle boundary) all break
+that silently.
+
+Scope inside the package: everything except the CLI (whose ``bench``
+subcommand legitimately times wall-clock) and devtools itself.
+Benchmarks live outside ``src/repro`` and are never linted.  The two
+legitimate in-scope users — the ``scalability`` wall-clock experiment
+and the process-local ``WindowCache`` id-keyed memo — carry justified
+``allow[nondeterminism]`` suppressions; that is the intended mechanism
+for the rare measured exception, not a sign the rule is optional.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, register_rule
+
+#: In-package paths the rule does not police.
+EXEMPT_PREFIXES = ("repro/cli.py", "repro/devtools/", "repro/__main__.py")
+
+#: Canonical dotted origins of wall-clock / entropy reads.
+CLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/clock-dependent id",
+    "uuid.uuid4": "OS entropy",
+}
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    if not ctx.in_package:
+        return True
+    return not any(ctx.rel.startswith(prefix) for prefix in EXEMPT_PREFIXES)
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    if not _in_scope(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "id":
+            if "id" not in ctx.imports.origins:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "id()-derived keys are stable only within one process and "
+                    "poison any state that crosses a pickle boundary; key on "
+                    "value identity, or keep the cache strictly process-local "
+                    "and justify it with an allow[nondeterminism] suppression",
+                )
+            continue
+        origin = ctx.imports.resolve(node.func, require_import=True)
+        if origin is None:
+            continue
+        if origin in CLOCK_CALLS:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{origin} is a {CLOCK_CALLS[origin]}; results must be pure "
+                "functions of inputs and seeds (jobs=N bit-identity, frozen "
+                "goldens) — thread a timestamp/seed in as a parameter",
+            )
+        elif origin == "secrets" or origin.startswith("secrets."):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{origin} draws OS entropy; derive randomness via "
+                "repro.util.rng.derive_rng(seed, ...)",
+            )
+
+
+register_rule(
+    Rule(
+        name="nondeterminism",
+        code="R2",
+        summary=(
+            "no wall-clock, OS entropy, or id()-keyed state in kernels, "
+            "experiments, schemes, stream, or storage"
+        ),
+        invariant=(
+            "hot paths are pure functions of inputs and seeds — jobs=N is "
+            "bit-identical to serial and goldens stay frozen (PR 2/PR 4)"
+        ),
+        check=_check,
+    )
+)

@@ -1,0 +1,133 @@
+"""R5 ``mutable-pitfalls``: mutable defaults and loop-variable closures.
+
+Two generic python traps with repo-specific teeth.  A mutable default
+argument (``def f(xs=[])``) is shared across *calls* — and, worse here,
+across the per-worker memoized state the parallel executor keeps alive,
+so a polluted default in one cell leaks into every later cell the
+worker runs.  A closure capturing a loop variable (``for s in schemes:
+cbs.append(lambda: run(s))``) binds the *name*, not the value; every
+callback sees the final scheme, the canonical way a 5-scheme grid
+silently becomes five evaluations of ``OR``.
+
+ruff enforces the generic forms repo-wide (B006/B023 in ruff.toml);
+this rule keeps the tier-1 zero-findings contract self-contained for
+environments that run only ``repro lint`` — the partition is documented
+in ruff.toml's header.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, register_rule
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _function_defaults(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> Iterator[ast.expr]:
+    yield from func.args.defaults
+    yield from (d for d in func.args.kw_defaults if d is not None)
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name)
+    }
+
+
+def _bound_names(func: ast.Lambda | ast.FunctionDef) -> set[str]:
+    args = func.args
+    names = {a.arg for a in args.args + args.posonlyargs + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _loaded_names(func: ast.Lambda | ast.FunctionDef) -> set[str]:
+    body = func.body if isinstance(func.body, list) else [func.body]
+    loaded: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+    return loaded
+
+
+def _closures_in_loop(
+    loop_body: list[ast.stmt], loop_vars: set[str]
+) -> Iterator[tuple[int, int, str]]:
+    for stmt in loop_body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, (ast.Lambda, ast.FunctionDef)):
+                continue
+            captured = (_loaded_names(node) - _bound_names(node)) & loop_vars
+            # Defaults are evaluated at definition time, so binding the
+            # loop variable as a default (`lambda s=s: ...`) is the
+            # sanctioned fix and must not be re-flagged.
+            defaulted = {
+                default.id
+                for default in _function_defaults(node)
+                if isinstance(default, ast.Name)
+            }
+            for name in sorted(captured - defaulted):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"closure captures loop variable {name!r} by name — "
+                    "every call sees the final iteration's value; bind it "
+                    f"eagerly ({name}={name} default, or functools.partial)",
+                )
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            for default in _function_defaults(node):
+                if _mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {name} is shared "
+                        "across calls (and across the executor's long-lived "
+                        "per-worker state); default to None and build inside",
+                    )
+        if isinstance(node, ast.For):
+            yield from _closures_in_loop(node.body, _target_names(node.target))
+
+
+register_rule(
+    Rule(
+        name="mutable-pitfalls",
+        code="R5",
+        summary="no mutable default arguments or loop-variable closures",
+        invariant=(
+            "per-worker memoized state (PR 2) makes shared defaults leak "
+            "across cells; late-bound loop captures silently collapse grids"
+        ),
+        check=_check,
+    )
+)

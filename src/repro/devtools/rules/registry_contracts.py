@@ -1,0 +1,393 @@
+"""R4 ``registry-contract``: spawn-picklable registrations, honest options.
+
+The experiment registry's contract (PR 2, module docstring of
+:mod:`repro.experiments.registry`): workers resolve cell functions
+*through the registry by name* after importing
+:mod:`repro.experiments`, so everything registered must be reachable as
+a module-level definition under any ``multiprocessing`` start method.
+A lambda, a nested ``def``, or a bound method registered as
+``run_cell`` works under ``fork`` on the developer's laptop and
+explodes (or silently diverges) under ``spawn`` in CI — the classic
+late-surfacing drift bug this linter exists to catch early.
+
+Two checks per ``registry.register(ExperimentSpec(...))`` site:
+
+* **Picklability** — each of ``build_cells`` / ``run_cell`` /
+  ``combine`` / ``to_result`` must resolve to a module-level ``def``,
+  an imported name, or ``functools.partial`` over one (partials bind
+  their arguments eagerly, so loop variables are safe there).  Names
+  bound by a module-level ``for`` loop over a literal table resolve
+  through every element of the table (the fig45/tables23 idiom).
+* **Options audit** — declared ``options`` keys must be string
+  literals with scalar-typed values, every key the cell builder reads
+  (``options["w"]`` / ``options.get("w")``) must be declared by a spec
+  that uses that builder, and every declared key must be read somewhere
+  in the module (a declared-but-never-read option is a typo'd or dead
+  knob the CLI would happily accept and silently ignore).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, dotted_name, register_rule
+
+_SPEC_FIELDS = ("build_cells", "run_cell", "combine", "to_result")
+_BAD_OPTION_VALUES = (ast.Dict, ast.List, ast.Set, ast.Tuple, ast.Lambda)
+
+
+class _ModuleEnv:
+    """Module-level name bindings a registration site can reference."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.functions = ctx.module_functions()
+        self.imports = set(ctx.imports.origins)
+        self.lambda_names: set[str] = set()
+        self.assigned: dict[str, ast.expr] = {}
+        self.loop_candidates: dict[str, list[ast.expr]] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self.assigned[target.id] = node.value
+                    if isinstance(node.value, ast.Lambda):
+                        self.lambda_names.add(target.id)
+            elif isinstance(node, ast.For):
+                self._bind_loop(node)
+
+    def _bind_loop(self, node: ast.For) -> None:
+        """Resolve ``for a, b in ((x, y), ...):`` to per-name candidates."""
+        if not isinstance(node.iter, (ast.Tuple, ast.List)):
+            return
+        rows = node.iter.elts
+        if isinstance(node.target, ast.Name):
+            self.loop_candidates[node.target.id] = list(rows)
+            return
+        if not isinstance(node.target, ast.Tuple):
+            return
+        names = node.target.elts
+        for index, name_node in enumerate(names):
+            if not isinstance(name_node, ast.Name):
+                continue
+            candidates: list[ast.expr] = []
+            for row in rows:
+                if isinstance(row, (ast.Tuple, ast.List)) and index < len(row.elts):
+                    candidates.append(row.elts[index])
+            if candidates:
+                self.loop_candidates[name_node.id] = candidates
+
+    def resolve_callable(self, node: ast.expr, depth: int = 0) -> str | None:
+        """``None`` when ``node`` is a module-level callable, else why not."""
+        if depth > 4:
+            return "cannot statically resolve (binding chain too deep)"
+        if isinstance(node, ast.Lambda):
+            return "is a lambda (unpicklable under spawn); use a module-level def"
+        if isinstance(node, ast.Name):
+            if node.id in self.functions or node.id in self.imports:
+                return None
+            if node.id in self.lambda_names:
+                return (
+                    f"{node.id} is a module-level lambda assignment; "
+                    "use a module-level def"
+                )
+            if node.id in self.loop_candidates:
+                for candidate in self.loop_candidates[node.id]:
+                    problem = self.resolve_callable(candidate, depth + 1)
+                    if problem is not None:
+                        return f"loop-bound {node.id}: {problem}"
+                return None
+            if node.id in self.assigned:
+                return self.resolve_callable(self.assigned[node.id], depth + 1)
+            return (
+                f"{node.id} does not resolve to a module-level def or import "
+                "(nested defs and locals cannot cross the spawn boundary)"
+            )
+        if isinstance(node, ast.Attribute):
+            return None  # a dotted module path (registry.take_only, ...)
+        if isinstance(node, ast.Call):
+            origin = self.ctx.imports.resolve(node.func) or ""
+            if origin in ("functools.partial", "partial"):
+                if not node.args:
+                    return "partial() with no target function"
+                problem = self.resolve_callable(node.args[0], depth + 1)
+                if problem is not None:
+                    return f"partial over a non-module-level callable: {problem}"
+                for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        return "partial binds a lambda argument"
+                return None
+            return (
+                f"call to {dotted_name(node.func) or '<expr>'} is not a "
+                "module-level def (workers re-resolve by name; register the "
+                "def itself, or functools.partial over one)"
+            )
+        return "is not a module-level def"
+
+    def builder_target(self, node: ast.expr) -> str | None:
+        """The module-level def name behind a build_cells expression."""
+        if isinstance(node, ast.Name):
+            if node.id in self.functions:
+                return node.id
+            return None
+        if isinstance(node, ast.Call):
+            origin = self.ctx.imports.resolve(node.func) or ""
+            if origin in ("functools.partial", "partial") and node.args:
+                return self.builder_target(node.args[0])
+        return None
+
+    def options_dicts(self, node: ast.expr, depth: int = 0) -> list[ast.Dict] | None:
+        """The literal dict(s) an ``options=`` expression can take."""
+        if depth > 4:
+            return None
+        if isinstance(node, ast.Dict):
+            return [node]
+        if isinstance(node, ast.Name):
+            candidates: list[ast.Dict] = []
+            sources = []
+            if node.id in self.loop_candidates:
+                sources = self.loop_candidates[node.id]
+            elif node.id in self.assigned:
+                sources = [self.assigned[node.id]]
+            for source in sources:
+                resolved = self.options_dicts(source, depth + 1)
+                if resolved is None:
+                    return None
+                candidates.extend(resolved)
+            return candidates or None
+        return None
+
+
+def _is_register_call(ctx: FileContext, node: ast.Call) -> bool:
+    origin = ctx.imports.resolve(node.func) or dotted_name(node.func) or ""
+    return origin == "repro.experiments.registry.register" or origin.endswith(
+        "registry.register"
+    )
+
+
+def _spec_call(ctx: FileContext, env: _ModuleEnv, node: ast.Call) -> ast.Call | None:
+    """The ``ExperimentSpec(...)`` call behind a ``register(...)`` arg."""
+    if not node.args:
+        return None
+    arg = node.args[0]
+    if isinstance(arg, ast.Name) and arg.id in env.assigned:
+        arg = env.assigned[arg.id]
+    if not isinstance(arg, ast.Call):
+        return None
+    origin = ctx.imports.resolve(arg.func) or dotted_name(arg.func) or ""
+    if origin.endswith("ExperimentSpec"):
+        return arg
+    return None
+
+
+def _spec_name(spec: ast.Call) -> str:
+    for keyword in spec.keywords:
+        if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+            return repr(keyword.value.value)
+    return "<dynamic>"
+
+
+def _declared_options(
+    env: _ModuleEnv, spec: ast.Call
+) -> tuple[set[str] | None, list[tuple[int, int, str]]]:
+    """Declared option keys (``None`` = unresolvable) + literal problems."""
+    problems: list[tuple[int, int, str]] = []
+    options_kw = next((kw for kw in spec.keywords if kw.arg == "options"), None)
+    if options_kw is None:
+        return set(), problems
+    dicts = env.options_dicts(options_kw.value)
+    if dicts is None:
+        return None, problems
+    keys: set[str] = set()
+    label = _spec_name(spec)
+    for literal in dicts:
+        for key_node, value_node in zip(literal.keys, literal.values):
+            if not isinstance(key_node, ast.Constant) or not isinstance(
+                key_node.value, str
+            ):
+                problems.append(
+                    (
+                        (key_node or literal).lineno,
+                        (key_node or literal).col_offset,
+                        f"experiment {label}: option keys must be string "
+                        "literals (the CLI matches --set names against them)",
+                    )
+                )
+                continue
+            keys.add(key_node.value)
+            if isinstance(value_node, _BAD_OPTION_VALUES) or (
+                isinstance(value_node, ast.Constant)
+                and not isinstance(value_node.value, (str, int, float, bool))
+            ):
+                problems.append(
+                    (
+                        value_node.lineno,
+                        value_node.col_offset,
+                        f"experiment {label}: option {key_node.value!r} "
+                        "default must be a str/int/float/bool scalar "
+                        "(resolve_options coerces --set values to its type)",
+                    )
+                )
+    return keys, problems
+
+
+def _options_param_name(func: ast.FunctionDef) -> str | None:
+    """The cell builder's options parameter (second positional arg)."""
+    args = func.args.args
+    if len(args) >= 2:
+        return args[1].arg
+    for arg in args + func.args.kwonlyargs:
+        if arg.arg == "options":
+            return arg.arg
+    return None
+
+
+def _read_option_keys(
+    func: ast.FunctionDef, param: str
+) -> tuple[set[str], bool, dict[str, tuple[int, int]]]:
+    """Constant keys read off ``param`` + whether any read was dynamic."""
+    keys: set[str] = set()
+    locations: dict[str, tuple[int, int]] = {}
+    dynamic = False
+    for node in ast.walk(func):
+        key_node: ast.expr | None = None
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+        ):
+            key_node = node.slice
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.args
+        ):
+            key_node = node.args[0]
+        if key_node is None:
+            continue
+        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+            keys.add(key_node.value)
+            locations.setdefault(key_node.value, (node.lineno, node.col_offset))
+        else:
+            dynamic = True
+    return keys, dynamic, locations
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    env = _ModuleEnv(ctx)
+    registrations: list[tuple[ast.Call, ast.Call]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and _is_register_call(ctx, node):
+            spec = _spec_call(ctx, env, node)
+            if spec is not None:
+                registrations.append((node, spec))
+    if not registrations:
+        return
+
+    # builder def name -> union of option keys declared by specs using it
+    builder_declared: dict[str, set[str]] = {}
+
+    for _register, spec in registrations:
+        label = _spec_name(spec)
+        for keyword in spec.keywords:
+            if keyword.arg in _SPEC_FIELDS:
+                problem = env.resolve_callable(keyword.value)
+                if problem is not None:
+                    yield (
+                        keyword.value.lineno,
+                        keyword.value.col_offset,
+                        f"experiment {label}: {keyword.arg} {problem}",
+                    )
+        declared, problems = _declared_options(env, spec)
+        yield from problems
+        if declared is None:
+            continue  # dynamic options expression; nothing to audit
+        for key in sorted(declared):
+            if not _key_read_somewhere(ctx, key):
+                yield (
+                    spec.lineno,
+                    spec.col_offset,
+                    f"experiment {label}: declared option {key!r} is never "
+                    "read in this module — a --set for it would be silently "
+                    "ignored; drop the declaration or use the option",
+                )
+        builder_kw = next(
+            (kw for kw in spec.keywords if kw.arg == "build_cells"), None
+        )
+        if builder_kw is not None:
+            target = env.builder_target(builder_kw.value)
+            if target is not None:
+                builder_declared.setdefault(target, set()).update(declared)
+
+    # Builder-side audit: every constant key a cell builder reads must
+    # be declared by at least one spec that registered that builder.
+    for func_node in ctx.tree.body:
+        if not isinstance(func_node, ast.FunctionDef):
+            continue
+        if func_node.name not in builder_declared:
+            continue
+        param = _options_param_name(func_node)
+        if param is None:
+            continue
+        read, dynamic, locations = _read_option_keys(func_node, param)
+        if dynamic:
+            continue  # variable keys; cannot audit statically
+        declared_union = builder_declared[func_node.name]
+        for key in sorted(read - declared_union):
+            line, col = locations[key]
+            yield (
+                line,
+                col,
+                f"cell builder {func_node.name} reads option {key!r} that no "
+                "registering ExperimentSpec declares; resolve_options would "
+                "reject --set and run_cell would KeyError at runtime",
+            )
+
+
+def _key_read_somewhere(ctx: FileContext, key: str) -> bool:
+    """Is ``options[key]`` / ``.get(key)`` read anywhere in the module?
+
+    The declared-key audit only needs existence, so this accepts a read
+    off *any* name (``options``, ``resolved``, a partial's kwarg) —
+    constant-string subscripts and ``.get`` calls with the key.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Subscript):
+            slice_node = node.slice
+            if (
+                isinstance(slice_node, ast.Constant)
+                and slice_node.value == key
+            ):
+                return True
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == key
+        ):
+            return True
+    return False
+
+
+register_rule(
+    Rule(
+        name="registry-contract",
+        code="R4",
+        summary=(
+            "registered cell functions are module-level defs; declared "
+            "options match what cell builders read"
+        ),
+        invariant=(
+            "workers resolve cell functions through the registry by name "
+            "under any start method, and every --set option is honest "
+            "(PR 2 executor contract)"
+        ),
+        check=_check,
+    )
+)

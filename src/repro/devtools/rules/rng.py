@@ -1,0 +1,84 @@
+"""R1 ``global-rng``: no module-global random-number state.
+
+The determinism contract (PR 2, docs/architecture.md): every stochastic
+component draws from a ``numpy.random.Generator`` that is *passed in*
+or derived from a root seed through a named path
+(:func:`repro.util.rng.derive_rng` / :func:`~repro.util.rng.derive_seed`).
+Module-level RNG calls — ``np.random.rand(...)``, ``random.choice(...)``
+— read and mutate hidden global state, so results depend on import
+order, call order across workers, and whatever ran before; they are the
+canonical source of silent cross-run drift.
+
+Flagged anywhere in the package (``repro/util/rng.py`` itself, the one
+sanctioned construction point, is allowlisted):
+
+* any call into ``numpy.random`` (including ``default_rng`` — outside
+  the allowlist, fresh generators must come from ``derive_rng``);
+* any call into the stdlib ``random`` module, and any
+  ``from random import ...`` (flagged at the import — the imported
+  names carry the same hidden state wherever they are used).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, register_rule
+
+#: The sanctioned construction point for generators.
+ALLOWED_MODULES = ("repro/util/rng.py",)
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    if ctx.in_package and ctx.rel in ALLOWED_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            module = node.module
+            if module == "random" or module.startswith("random."):
+                names = ", ".join(alias.name for alias in node.names)
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"'from random import {names}' pulls in global-state "
+                    "RNG; accept a numpy Generator argument or derive one "
+                    "via repro.util.rng.derive_rng",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        origin = ctx.imports.resolve(node.func, require_import=True)
+        if origin is None:
+            continue
+        if origin.startswith("numpy.random."):
+            func = origin.removeprefix("numpy.random.")
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"call to np.random.{func} uses module-global RNG state; "
+                "pass a Generator in or derive one via "
+                "repro.util.rng.derive_rng(seed, ...)",
+            )
+        elif origin.startswith("random."):
+            func = origin.removeprefix("random.")
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"call to random.{func} uses the stdlib global RNG; pass a "
+                "numpy Generator in or derive one via "
+                "repro.util.rng.derive_rng(seed, ...)",
+            )
+
+
+register_rule(
+    Rule(
+        name="global-rng",
+        code="R1",
+        summary="no module-global RNG state (np.random.*, stdlib random)",
+        invariant=(
+            "every RNG stream is a Generator passed in or derived via "
+            "util.rng.derive_seed/derive_rng (PR 2 determinism model)"
+        ),
+        check=_check,
+    )
+)

@@ -1,0 +1,152 @@
+"""R7 ``spec-literals``: scheme recipes stay JSON/pickle-safe scalars.
+
+A :class:`~repro.schemes.spec.SchemeSpec` is the *recipe* that travels
+— through pickled experiment cells, the corpus manifest (JSON), and
+``--scheme`` strings (PR 5).  That only works while every parameter
+value is a plain scalar (str/int/float/bool): a numpy scalar pickles
+but breaks manifest JSON round-trips and hashes differently across
+dtypes; a list/dict/Trace value breaks hashability (specs key the
+per-worker scheme memo) or drags megabytes of payload through every
+cell pickle.  The validating path exists (``coerce_value``), but it
+runs at *build* time in a worker — this rule moves the failure to the
+line that wrote the recipe.
+
+Checked statically (dynamic expressions pass through — the runtime
+coercion still guards them):
+
+* ``SchemeSpec(...)`` literal ``params`` tuples/lists and
+  ``with_params(...)`` literal keyword values must be scalar
+  constants — no containers, ``None``, bytes, or lambdas;
+* ``SchemeDefinition(params={...})`` catalog defaults: literal dict
+  values must not be containers/None/bytes (the registry types
+  ``--scheme-set`` coercion off these defaults).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint import FileContext, Rule, dotted_name, register_rule
+
+_CONTAINER = (ast.Dict, ast.List, ast.Set, ast.Tuple, ast.Lambda)
+
+
+def _scalar_problem(value: ast.expr) -> str | None:
+    """Why a literal param value is not JSON/pickle-safe, if decidable."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return "a container"
+    if isinstance(value, ast.Constant):
+        if value.value is None:
+            return "None (coerce_value has no type to coerce to)"
+        if isinstance(value.value, bytes):
+            return "bytes (not JSON-representable in the corpus manifest)"
+        if not isinstance(value.value, (str, int, float, bool)):
+            return f"a {type(value.value).__name__}"
+    return None
+
+
+def _check_pair_value(
+    key: str, value: ast.expr
+) -> Iterator[tuple[int, int, str]]:
+    problem = _scalar_problem(value)
+    if problem is not None:
+        yield (
+            value.lineno,
+            value.col_offset,
+            f"scheme parameter {key!r} is {problem}; spec params must be "
+            "str/int/float/bool scalars — they ride pickled cells, the "
+            "JSON corpus manifest, and hash the per-worker scheme memo",
+        )
+
+
+def _iter_literal_pairs(
+    params: ast.expr,
+) -> Iterator[tuple[str, ast.expr]] | None:
+    """``(key, value-node)`` pairs of a literal params expression."""
+    pairs: list[tuple[str, ast.expr]] = []
+    if isinstance(params, ast.Dict):
+        for key_node, value_node in zip(params.keys, params.values):
+            if isinstance(key_node, ast.Constant) and isinstance(
+                key_node.value, str
+            ):
+                pairs.append((key_node.value, value_node))
+        return iter(pairs)
+    if isinstance(params, (ast.Tuple, ast.List)):
+        for element in params.elts:
+            if (
+                isinstance(element, (ast.Tuple, ast.List))
+                and len(element.elts) == 2
+                and isinstance(element.elts[0], ast.Constant)
+                and isinstance(element.elts[0].value, str)
+            ):
+                pairs.append((element.elts[0].value, element.elts[1]))
+        return iter(pairs)
+    return None  # dynamic — the runtime coercion path guards it
+
+
+def _call_target(ctx: FileContext, node: ast.Call) -> str | None:
+    origin = ctx.imports.resolve(node.func) or dotted_name(node.func)
+    if origin is None:
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+    return origin.rpartition(".")[2]
+
+
+def _params_argument(node: ast.Call, position: int) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == "params":
+            return keyword.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+def _check(ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _call_target(ctx, node)
+        if target == "SchemeSpec":
+            params = _params_argument(node, 1)
+            if params is None:
+                continue
+            pairs = _iter_literal_pairs(params)
+            if pairs is None:
+                continue
+            for key, value in pairs:
+                yield from _check_pair_value(key, value)
+        elif target == "SchemeDefinition":
+            # params is keyword-only in the catalog idiom; positional
+            # SchemeDefinition args are name/title, never params.
+            params = next(
+                (kw.value for kw in node.keywords if kw.arg == "params"), None
+            )
+            if params is None or not isinstance(params, ast.Dict):
+                continue
+            for key_node, value_node in zip(params.keys, params.values):
+                if isinstance(key_node, ast.Constant) and isinstance(
+                    key_node.value, str
+                ):
+                    yield from _check_pair_value(key_node.value, value_node)
+        elif target == "with_params":
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    yield from _check_pair_value(keyword.arg, keyword.value)
+
+
+register_rule(
+    Rule(
+        name="spec-literals",
+        code="R7",
+        summary="SchemeSpec/SchemeDefinition param literals are JSON-safe scalars",
+        invariant=(
+            "scheme recipes travel as pickled cells, JSON manifests, and "
+            "memo keys, so params are str/int/float/bool (PR 5 spec contract)"
+        ),
+        check=_check,
+    )
+)

@@ -212,8 +212,10 @@ def reshaping_scalability(
     counts, times, rates = [], [], []
     for duration in durations:
         trace = generator.generate(AppType.DOWNLOADING, duration)
+        # repro-lint: allow[nondeterminism]: this experiment *measures* wall-clock (registered deterministic=False, excluded from bit-identity)
         start = time.perf_counter()
         scheme.apply(trace)
+        # repro-lint: allow[nondeterminism]: this experiment *measures* wall-clock (registered deterministic=False, excluded from bit-identity)
         elapsed = time.perf_counter() - start
         counts.append(len(trace))
         times.append(elapsed)

@@ -1,0 +1,33 @@
+"""R1 positive cases.  An ``expect`` marker comment (naming the rule in
+brackets) flags every line the linter must report — the fixture harness
+asserts the finding set matches the markers exactly, so each fixture is
+simultaneously a positive and a no-extra-findings test.  Parsed only,
+never imported.
+"""
+
+import random
+
+import numpy as np
+import numpy.random as npr
+from random import choice  # expect[global-rng]
+
+
+def sample_sizes(count):
+    return np.random.rand(count)  # expect[global-rng]
+
+
+def pick(options):
+    return random.choice(options)  # expect[global-rng]
+
+
+def pick_imported(options):
+    return choice(options)  # expect[global-rng]
+
+
+def reseed():
+    np.random.seed(0)  # expect[global-rng]
+
+
+def fresh_but_wrong():
+    # Even default_rng: outside util/rng.py, generators come from derive_rng.
+    return npr.default_rng(7)  # expect[global-rng]

@@ -1,0 +1,27 @@
+"""R1 negative cases: the sanctioned RNG idioms must stay silent."""
+
+import numpy as np
+
+from repro.util.rng import RngFactory, derive_rng, derive_seed
+
+
+def sample(rng: np.random.Generator, count: int):
+    # Annotations touching np.random.Generator are types, not state.
+    return rng.integers(0, 10, size=count)
+
+
+def fresh(seed: int) -> np.random.Generator:
+    return derive_rng(seed, "fixture", "stream")
+
+
+def reseeded(seed: int) -> int:
+    return derive_seed(seed, "cell", "fixture")
+
+
+def factory_stream(seed: int):
+    return RngFactory(seed).get("traffic", "browsing")
+
+
+def not_the_stdlib(random):
+    # A parameter named `random` is not the stdlib module.
+    return random.choice([1, 2])

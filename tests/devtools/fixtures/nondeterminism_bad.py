@@ -1,0 +1,38 @@
+"""R2 positive cases: wall-clock, OS entropy, and id()-keyed state."""
+
+import os
+import secrets
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_result(rows):
+    return {"rows": rows, "at": time.time()}  # expect[nondeterminism]
+
+
+def stamp_pretty(rows):
+    return {"rows": rows, "at": datetime.now()}  # expect[nondeterminism]
+
+
+def measure(fn):
+    start = perf_counter()  # expect[nondeterminism]
+    fn()
+    return perf_counter() - start  # expect[nondeterminism]
+
+
+def fresh_token():
+    return os.urandom(16)  # expect[nondeterminism]
+
+
+def fresh_id():
+    return uuid.uuid4()  # expect[nondeterminism]
+
+
+def fresh_secret():
+    return secrets.token_bytes(8)  # expect[nondeterminism]
+
+
+def cache_put(cache, flow, value):
+    cache[id(flow)] = value  # expect[nondeterminism]

@@ -1,0 +1,18 @@
+"""R2 negative cases: time as data, justified suppressions."""
+
+import numpy as np
+
+
+def shift_times(times: np.ndarray, offset: float) -> np.ndarray:
+    # Arithmetic on *trace* timestamps is data flow, not clock reads.
+    return times + offset
+
+
+def window_edges(start: float, stop: float, width: float) -> np.ndarray:
+    return np.arange(start, stop, width)
+
+
+def cache_put(cache, flow, value):
+    # repro-lint: allow[nondeterminism]: fixture cache is process-local by construction
+    cache[id(flow)] = value
+    return cache

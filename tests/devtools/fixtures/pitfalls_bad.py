@@ -1,0 +1,40 @@
+"""R5 positive cases: mutable defaults and loop-variable closures."""
+
+
+def collect(item, bucket=[]):  # expect[mutable-pitfalls]
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):  # expect[mutable-pitfalls]
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def unique(seen=set()):  # expect[mutable-pitfalls]
+    return seen
+
+
+def build(rows=list()):  # expect[mutable-pitfalls]
+    return rows
+
+
+def keyword_only(*, acc=[]):  # expect[mutable-pitfalls]
+    return acc
+
+
+def make_callbacks(schemes):
+    callbacks = []
+    for scheme in schemes:
+        callbacks.append(lambda: scheme.apply())  # expect[mutable-pitfalls]
+    return callbacks
+
+
+def make_nested_defs(windows):
+    runners = []
+    for window in windows:
+        def run():  # expect[mutable-pitfalls]
+            return window * 2
+
+        runners.append(run)
+    return runners

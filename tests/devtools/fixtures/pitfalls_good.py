@@ -1,0 +1,37 @@
+"""R5 negative cases: the sanctioned spellings stay silent."""
+
+from functools import partial
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def frozen_default(windows=(5.0, 60.0), label="w"):
+    return dict.fromkeys(windows, label)
+
+
+def make_callbacks(schemes):
+    callbacks = []
+    for scheme in schemes:
+        # Default-binding evaluates eagerly: each callback owns its scheme.
+        callbacks.append(lambda scheme=scheme: scheme.apply())
+    return callbacks
+
+
+def make_partial_callbacks(schemes, run):
+    callbacks = []
+    for scheme in schemes:
+        callbacks.append(partial(run, scheme))
+    return callbacks
+
+
+def closure_over_non_target(schemes, run):
+    # The lambda captures `run` (a stable parameter), not the loop
+    # target — every call sees the same, correct value.
+    fns = []
+    for _scheme in schemes:
+        fns.append(lambda: run())
+    return fns

@@ -1,0 +1,43 @@
+"""R4 positive cases: unpicklable registrations and dishonest options."""
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec, take_only
+
+# A module-level lambda *assignment* only becomes a finding when it is
+# registered (below, as combine=).
+_run_alias = lambda cell: None
+
+
+def _cells(params, options):
+    return (options["window"], options["missing"])  # expect[registry-contract]
+
+
+def _to_result(params, options, combined):
+    return combined
+
+
+registry.register(
+    ExperimentSpec(  # expect[registry-contract] -- declared option 'dead' never read
+        name="fixture_bad",
+        title="t",
+        description="d",
+        build_cells=_cells,
+        run_cell=lambda cell: None,  # expect[registry-contract]
+        combine=_run_alias,  # expect[registry-contract]
+        to_result=_to_result,
+        options={"window": 5.0, "dead": 1},
+    )
+)
+
+registry.register(
+    ExperimentSpec(
+        name="fixture_bad_values",
+        title="t",
+        description="d",
+        build_cells=_cells,
+        run_cell=_unknown_name,  # expect[registry-contract]
+        combine=take_only,
+        to_result=_to_result,
+        options={"window": [5.0, 15.0]},  # expect[registry-contract]
+    )
+)

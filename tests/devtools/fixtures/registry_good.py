@@ -1,0 +1,61 @@
+"""R4 negative cases: the repo's real registration idioms must pass.
+
+Mirrors the shapes in src/repro/experiments/: plain module-level defs,
+``functools.partial`` over one, loop-bound names resolved through a
+literal registration table (the fig45/tables23 idiom), and imported
+combines.
+"""
+
+from functools import partial
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec, take_only
+
+
+def _cells(params, options, experiment="fixture_good"):
+    window = float(options["window"])
+    duration = float(options.get("duration", 30.0))
+    return (window, duration, experiment)
+
+
+def _run_cell(cell):
+    return cell
+
+
+def _run_cell_alt(cell):
+    return cell
+
+
+def _to_result(params, options, combined, experiment="fixture_good"):
+    return combined
+
+
+registry.register(
+    ExperimentSpec(
+        name="fixture_good",
+        title="t",
+        description="d",
+        build_cells=_cells,
+        run_cell=_run_cell,
+        combine=take_only,
+        to_result=partial(_to_result, experiment="fixture_good"),
+        options={"window": 5.0, "duration": 30.0},
+    )
+)
+
+for _name, _runner, _options in (
+    ("fixture_good_a", _run_cell, {"window": 5.0}),
+    ("fixture_good_b", _run_cell_alt, {"window": 60.0, "duration": 10.0}),
+):
+    registry.register(
+        ExperimentSpec(
+            name=_name,
+            title="t",
+            description="d",
+            build_cells=partial(_cells, experiment=_name),
+            run_cell=_runner,
+            combine=take_only,
+            to_result=partial(_to_result, experiment=_name),
+            options=_options,
+        )
+    )

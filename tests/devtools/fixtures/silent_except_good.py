@@ -1,0 +1,33 @@
+"""R6 negative cases: narrow catches and loud broad ones."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class StoreFormatError(ValueError):
+    pass
+
+
+def parse_count(path, text):
+    try:
+        return int(text)
+    except ValueError as error:
+        # Narrow catch, loud re-raise naming the file: the PR 4 policy.
+        raise StoreFormatError(f"{path!r}: bad count {text!r}") from error
+
+
+def best_effort_cleanup(path, remove):
+    try:
+        remove(path)
+    except Exception as error:
+        # Broad, but *reported* — cleanup should not mask the original
+        # failure, and the operator still learns about it.
+        logger.warning("cleanup of %s failed: %s", path, error)
+
+
+def rewrap(load, path):
+    try:
+        return load(path)
+    except Exception as error:
+        raise StoreFormatError(f"{path!r}: malformed: {error!r}") from None

@@ -1,0 +1,35 @@
+"""R7 positive cases: non-scalar literals in scheme recipes."""
+
+from repro.schemes.registry import SchemeDefinition, register_scheme
+from repro.schemes.spec import SchemeSpec
+
+
+def list_valued_param():
+    return SchemeSpec("or", (("interfaces", [2, 3]),))  # expect[spec-literals]
+
+
+def none_valued_param():
+    return SchemeSpec("fh", params=(("channels", None),))  # expect[spec-literals]
+
+
+def bytes_valued_param():
+    return SchemeSpec("fh", (("plan", b"\x01\x06"),))  # expect[spec-literals]
+
+
+def dict_valued_override(spec):
+    return spec.with_params(ranges={"low": 232})  # expect[spec-literals]
+
+
+def lambda_valued_override(spec):
+    return spec.with_params(chooser=lambda k: k)  # expect[spec-literals]
+
+
+register_scheme(
+    SchemeDefinition(
+        name="fixture_scheme",
+        title="t",
+        kind="reshaper",
+        params={"boundaries": [232, 1540]},  # expect[spec-literals]
+        build=None,
+    )
+)

@@ -1,0 +1,36 @@
+"""R7 negative cases: scalar literals and dynamic recipes."""
+
+from repro.schemes.registry import SchemeDefinition, register_scheme
+from repro.schemes.spec import SchemeSpec
+
+DEFAULT_INTERFACES = 3
+
+
+def scalar_params():
+    return SchemeSpec("or", (("interfaces", 5), ("boundaries", "232,1540")))
+
+
+def bool_and_float():
+    return SchemeSpec("padding", params=(("both_directions", True), ("dwell", 0.5)))
+
+
+def scalar_overrides(spec):
+    return spec.with_params(interfaces=5, boundaries="")
+
+
+def dynamic_params(pairs):
+    # Non-literal recipes are the runtime coercion path's job.
+    return SchemeSpec("or", tuple(pairs))
+
+
+register_scheme(
+    SchemeDefinition(
+        name="fixture_scheme_ok",
+        title="t",
+        kind="reshaper",
+        # Name-valued defaults (constants) are fine; only literal
+        # containers are statically wrong.
+        params={"interfaces": DEFAULT_INTERFACES, "boundaries": ""},
+        build=None,
+    )
+)

@@ -1,0 +1,21 @@
+"""Suppression handling: every allow[] here is earned — zero findings."""
+
+import time
+
+
+def measure_inline(fn):
+    start = time.perf_counter()  # repro-lint: allow[nondeterminism]: fixture measures wall-clock on purpose
+    fn()
+    return time.perf_counter() - start  # repro-lint: allow[nondeterminism]: fixture measures wall-clock on purpose
+
+
+def measure_own_line(fn):
+    # repro-lint: allow[nondeterminism]: own-line comments cover the next line
+    start = time.perf_counter()
+    fn()
+    # repro-lint: allow[nondeterminism]: own-line comments cover the next line
+    return time.perf_counter() - start
+
+
+def several_rules(flow, bucket=[], stamp=time.time()):  # repro-lint: allow[mutable-pitfalls,nondeterminism]: one comment may excuse several rules on its line
+    return (flow, bucket, stamp)

@@ -1,0 +1,14 @@
+"""R3 positive cases: ``_trusted`` outside the allowlist."""
+
+from repro.traffic.trace import Trace
+
+
+def rebuild_fast(times, sizes, directions, ifaces, channels, rssi):
+    return Trace._trusted(  # expect[trusted-constructor]
+        times, sizes, directions, ifaces, channels, rssi
+    )
+
+
+def sneaky_alias(trace_cls, columns):
+    factory = trace_cls._trusted  # expect[trusted-constructor]
+    return factory(*columns)

@@ -1,0 +1,12 @@
+"""R3 negative cases: the validating constructor is always fine."""
+
+from repro.traffic.trace import Trace
+
+
+def rebuild_validated(times, sizes):
+    return Trace(times=times, sizes=sizes)
+
+
+def unrelated_private_attr(obj):
+    # Only the `_trusted` name is confined, not private attrs broadly.
+    return obj._cached

@@ -1,0 +1,245 @@
+"""Engine-level tests: suppressions, selection, JSON schema, errors."""
+
+import pytest
+
+from repro.devtools import (
+    Finding,
+    LintError,
+    Rule,
+    all_rules,
+    findings_to_json,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+    rule_names,
+)
+from repro.devtools.lint import logical_path, register_rule
+
+CLOCK = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _rules(name: str) -> tuple[str, ...]:
+    return tuple(finding.rule for finding in lint_source(name))
+
+
+class TestSuppressions:
+    def test_same_line_suppression_covers_its_own_line(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: allow[nondeterminism]: test fixture\n"
+        )
+        assert lint_source(source) == []
+
+    def test_own_line_comment_covers_the_next_line(self):
+        source = (
+            "import time\n"
+            "# repro-lint: allow[nondeterminism]: test fixture\n"
+            "t = time.time()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_own_line_comment_does_not_reach_two_lines_down(self):
+        source = (
+            "import time\n"
+            "# repro-lint: allow[nondeterminism]: test fixture\n"
+            "x = 1\n"
+            "t = time.time()\n"
+        )
+        rules = {finding.rule for finding in lint_source(source)}
+        # The clock call stays a finding AND the suppression is unused.
+        assert rules == {"nondeterminism", "suppression"}
+
+    def test_suppression_for_the_wrong_rule_does_not_apply(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: allow[global-rng]: wrong rule\n"
+        )
+        rules = {finding.rule for finding in lint_source(source)}
+        assert rules == {"nondeterminism", "suppression"}
+
+    def test_missing_reason_is_a_finding_and_suppresses_nothing(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: allow[nondeterminism]\n"
+        )
+        findings = lint_source(source)
+        assert {finding.rule for finding in findings} == {
+            "nondeterminism",
+            "suppression",
+        }
+        assert any("non-empty" in finding.message for finding in findings)
+
+    def test_unknown_rule_in_allow_is_a_finding(self):
+        source = "x = 1  # repro-lint: allow[not-a-rule]: because\n"
+        (finding,) = lint_source(source)
+        assert finding.rule == "suppression"
+        assert "not-a-rule" in finding.message
+        assert "valid rules" in finding.message
+
+    def test_malformed_repro_lint_comment_is_a_finding(self):
+        source = "x = 1  # repro-lint: please ignore this\n"
+        (finding,) = lint_source(source)
+        assert finding.rule == "suppression"
+        assert "malformed" in finding.message
+
+    def test_empty_allow_list_is_a_finding(self):
+        source = "x = 1  # repro-lint: allow[]: reason\n"
+        (finding,) = lint_source(source)
+        assert finding.rule == "suppression"
+        assert "names no rule" in finding.message
+
+    def test_unused_suppression_is_an_error(self):
+        source = "x = 1  # repro-lint: allow[nondeterminism]: stale excuse\n"
+        (finding,) = lint_source(source)
+        assert finding.rule == "suppression"
+        assert "unused suppression" in finding.message
+
+    def test_unused_suppression_ignored_when_its_rule_did_not_run(self):
+        # `--rules global-rng` must not condemn an allow[silent-except]
+        # elsewhere in the file: that rule's findings never existed this
+        # run, so "unused" cannot be judged.
+        source = "x = 1  # repro-lint: allow[silent-except]: io-layer excuse\n"
+        assert lint_source(source, rules=resolve_rules(["global-rng"])) == []
+        assert lint_source(source)  # full run: unused, flagged
+
+    def test_multi_rule_suppression_counts_each_use(self):
+        source = (
+            "import time\n"
+            "def f(xs=[], t=time.time()):  # repro-lint: allow[mutable-pitfalls,nondeterminism]: test fixture\n"
+            "    return xs, t\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestEngine:
+    def test_syntax_error_is_a_single_finding(self):
+        findings = lint_source("def broken(:\n", file="broken.py")
+        (finding,) = findings
+        assert finding.rule == "syntax-error"
+        assert finding.file == "broken.py"
+        assert finding.line >= 1
+
+    def test_findings_sorted_by_location(self):
+        source = (
+            "import time\n"
+            "def f(xs=[]):\n"
+            "    return time.time()\n"
+        )
+        findings = lint_source(source)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_finding_render_is_clickable(self):
+        finding = Finding(
+            file="repro/x.py", line=3, col=4, rule="global-rng", message="m"
+        )
+        assert finding.location == "repro/x.py:3:4"
+        assert finding.render() == "repro/x.py:3:4: global-rng [error]: m"
+
+    def test_rule_registry_is_complete_and_ordered(self):
+        assert rule_names() == (
+            "global-rng",
+            "nondeterminism",
+            "trusted-constructor",
+            "registry-contract",
+            "mutable-pitfalls",
+            "silent-except",
+            "spec-literals",
+        )
+        codes = [rule.code for rule in all_rules()]
+        assert codes == [f"R{i}" for i in range(1, 8)]
+
+    def test_resolve_rules_none_selects_all(self):
+        assert resolve_rules(None) == all_rules()
+
+    def test_resolve_rules_subset_preserves_request_order(self):
+        selected = resolve_rules(["silent-except", "global-rng"])
+        assert [rule.name for rule in selected] == ["silent-except", "global-rng"]
+
+    def test_resolve_rules_unknown_name_lists_valid_rules(self):
+        with pytest.raises(LintError, match="bogus.*valid rules.*global-rng"):
+            resolve_rules(["bogus"])
+
+    def test_resolve_rules_empty_selection_is_an_error(self):
+        with pytest.raises(LintError, match="no rules selected"):
+            resolve_rules([])
+
+    def test_lint_paths_missing_path_is_loud(self, tmp_path):
+        with pytest.raises(LintError, match="no such file or directory"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_lint_paths_recurses_directories(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "a.py").write_text(CLOCK)
+        (tmp_path / "b.py").write_text("x = 1\n")
+        findings = lint_paths([tmp_path])
+        assert [finding.rule for finding in findings] == ["nondeterminism"]
+        assert findings[0].file.endswith("a.py")
+
+    def test_register_rule_rejects_duplicates_and_reserved_names(self):
+        taken = all_rules()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(taken)
+        for reserved in ("suppression", "syntax-error"):
+            bad = Rule(
+                name=reserved,
+                code="R99",
+                summary="s",
+                invariant="i",
+                check=lambda ctx: (),
+            )
+            with pytest.raises(ValueError, match="reserved"):
+                register_rule(bad)
+
+    def test_logical_path_maps_into_the_package(self):
+        import repro
+
+        from pathlib import Path
+
+        cli = Path(repro.__file__).parent / "cli.py"
+        assert logical_path(cli) == "repro/cli.py"
+
+    def test_logical_path_keeps_basenames_outside_the_package(self, tmp_path):
+        loose = tmp_path / "scratch.py"
+        loose.write_text("x = 1\n")
+        assert logical_path(loose) == "scratch.py"
+
+
+class TestJson:
+    def test_schema_fields(self):
+        findings = lint_source(CLOCK, file="clock.py")
+        payload = findings_to_json(findings)
+        assert payload["version"] == 1
+        assert payload["rules"] == list(rule_names())
+        assert payload["count"] == len(findings) == 1
+        assert payload["errors"] == 1
+        (entry,) = payload["findings"]
+        assert entry == {
+            "file": "clock.py",
+            "line": findings[0].line,
+            "col": findings[0].col,
+            "rule": "nondeterminism",
+            "severity": "error",
+            "message": findings[0].message,
+        }
+
+    def test_clean_run_payload(self):
+        payload = findings_to_json([], rules=resolve_rules(["global-rng"]))
+        assert payload == {
+            "version": 1,
+            "rules": ["global-rng"],
+            "count": 0,
+            "errors": 0,
+            "findings": [],
+        }
+
+    def test_payload_is_json_serializable(self):
+        import json
+
+        payload = findings_to_json(lint_source(CLOCK))
+        assert json.loads(json.dumps(payload)) == payload
+
+
+def test_every_rule_documents_its_invariant():
+    for rule in all_rules():
+        assert rule.summary and rule.invariant, rule.name
+        assert rule.severity in ("error", "warning")

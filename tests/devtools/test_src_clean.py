@@ -1,0 +1,58 @@
+"""Tier-1 gate: ``src/repro`` has zero lint findings, and stays honest.
+
+The zero-findings test is the pytest arm of the three-way wiring (CLI,
+tier-1 test, CI job); it is smoke-marked so every tier-1 run enforces
+the invariants.  The seeded-violation tests prove the gate actually
+bites: planting the acceptance-criterion violation (``np.random.rand``
+in ``schemes/catalog.py``) must fail with the exact file:line:col.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools import findings_to_json, lint_paths, lint_source
+
+pytestmark = pytest.mark.smoke
+
+SRC = Path(repro.__file__).parent
+
+
+def test_src_tree_has_zero_findings():
+    findings = lint_paths([SRC])
+    assert findings == [], "repro lint violations:\n" + "\n".join(
+        finding.render() for finding in findings
+    )
+
+
+def test_src_tree_json_report_is_clean():
+    payload = findings_to_json(lint_paths([SRC]))
+    assert payload["count"] == 0 and payload["errors"] == 0
+
+
+def test_seeded_global_rng_violation_is_caught():
+    catalog = SRC / "schemes" / "catalog.py"
+    source = catalog.read_text(encoding="utf-8")
+    tainted = source + "\nimport numpy as np\n_taint = np.random.rand(3)\n"
+    findings = lint_source(
+        tainted, file=str(catalog), rel="repro/schemes/catalog.py"
+    )
+    (finding,) = findings
+    assert finding.rule == "global-rng"
+    assert finding.file == str(catalog)
+    lines = tainted.splitlines()
+    assert finding.line == len(lines)  # the planted line
+    assert lines[finding.line - 1][finding.col :].startswith("np.random.rand(3)")
+
+
+def test_seeded_violation_fails_the_zero_findings_gate(tmp_path):
+    # The same planting, driven through lint_paths the way the tier-1
+    # gate runs it: a copied tree with one bad module is not clean.
+    bad = tmp_path / "catalog_tainted.py"
+    bad.write_text(
+        "import numpy as np\n_taint = np.random.rand(3)\n", encoding="utf-8"
+    )
+    findings = lint_paths([tmp_path])
+    assert [finding.rule for finding in findings] == ["global-rng"]
+    assert findings[0].line == 2 and findings[0].col == 9

@@ -219,3 +219,77 @@ class TestBench:
         )
         out = capsys.readouterr().out
         assert "parallel (--jobs 2)" in out and "speedup" in out
+
+
+class TestLint:
+    """Exit-code contract: 0 clean, 1 findings, 2 engine error."""
+
+    @pytest.fixture()
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import numpy as np\n_taint = np.random.rand(3)\n")
+        return str(path)
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 finding(s) (0 error(s))" in captured.err
+
+    def test_clean_tree_json_schema(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["count"] == 0 and payload["errors"] == 0
+        assert len(payload["rules"]) == 7
+
+    def test_findings_exit_one_with_clickable_location(self, capsys, bad_file):
+        assert main(["lint", bad_file]) == 1
+        captured = capsys.readouterr()
+        assert f"{bad_file}:2:9: global-rng [error]:" in captured.out
+        assert "1 finding(s) (1 error(s))" in captured.err
+
+    def test_findings_json_carries_location_fields(self, capsys, bad_file):
+        assert main(["lint", bad_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["findings"]
+        assert entry["file"] == bad_file
+        assert (entry["line"], entry["col"]) == (2, 9)
+        assert entry["rule"] == "global-rng" and entry["severity"] == "error"
+
+    def test_rules_subset_narrows_the_run(self, capsys, bad_file):
+        # The planted violation is R1-only; a run restricted to R2
+        # must pass it, and say which rules actually ran.
+        assert main(["lint", bad_file, "--rules", "nondeterminism"]) == 0
+        assert "[rules: nondeterminism]" in capsys.readouterr().err
+
+    def test_unknown_rule_is_a_loud_usage_error(self, capsys):
+        assert main(["lint", "--rules", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "valid rules" in err and "global-rng" in err
+
+    def test_empty_rules_selection_exits_two(self, capsys):
+        assert main(["lint", "--rules", ","]) == 2
+        assert "no rules selected" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_unparseable_file_is_a_finding_not_a_crash(self, capsys, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        assert main(["lint", str(path)]) == 1
+        assert "syntax-error" in capsys.readouterr().out
+
+    def test_list_rules_renders_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for token in ("R1", "R7", "global-rng", "spec-literals", "allow[rule]"):
+            assert token in out
+
+    def test_list_rules_json_is_parseable(self, capsys):
+        assert main(["lint", "--list-rules", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["code"] for e in entries] == [f"R{i}" for i in range(1, 8)]
+        assert {"name", "severity", "summary", "invariant"} <= set(entries[0])
