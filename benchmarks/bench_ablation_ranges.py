@@ -12,7 +12,6 @@ from repro.core.adaptive import QuantileBoundaryReshaper
 from repro.core.engine import ReshapingEngine
 from repro.core.schedulers import OrthogonalReshaper
 from repro.core.targets import FIG4_RANGES
-from repro.util.tables import format_table
 
 
 def _mean_accuracy(runner, scenario, make_reshaper) -> float:
@@ -27,7 +26,7 @@ def _mean_accuracy(runner, scenario, make_reshaper) -> float:
     return pipeline.evaluate_flows(flows_by_label).mean_accuracy
 
 
-def test_boundary_ablation(benchmark, scenario, runner, save_result):
+def test_boundary_ablation(benchmark, scenario, runner, save_table):
     def run():
         return {
             "paper ranges (232/1540)": _mean_accuracy(
@@ -46,12 +45,12 @@ def test_boundary_ablation(benchmark, scenario, runner, save_result):
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rendered = format_table(
+    save_table(
+        "ablation_ranges",
         ["boundary choice", "mean accuracy %"],
         [[name, value] for name, value in results.items()],
         title="Ablation — OR boundary selection (I = 3, W = 5 s)",
     )
-    save_result("ablation_ranges", rendered)
 
     # Every boundary choice must beat the naive schedulers' ~80%+ level;
     # the exact winner is data-dependent.

@@ -10,10 +10,9 @@ is exactly what the TPC counter-measure protects.
 from repro.analysis.aggregation import AggregationAttack
 from repro.core.engine import ReshapingEngine
 from repro.core.schedulers import OrthogonalReshaper
-from repro.util.tables import format_table
 
 
-def test_aggregation_recovers_accuracy(benchmark, scenario, runner, save_result):
+def test_aggregation_recovers_accuracy(benchmark, scenario, runner, save_table):
     pipeline = runner.pipeline(5.0)
     engine = ReshapingEngine(OrthogonalReshaper.paper_default())
     flows_by_label = {}
@@ -33,12 +32,12 @@ def test_aggregation_recovers_accuracy(benchmark, scenario, runner, save_result)
         ["merged (oracle linking)", outcome.merged_report.mean_accuracy],
         ["recovered", outcome.accuracy_recovered],
     ]
-    rendered = format_table(
+    save_table(
+        "aggregation",
         ["adversary view", "mean accuracy %"],
         rows,
         title="Ablation — aggregation counter-attack against OR (W = 5 s)",
     )
-    save_result("aggregation", rendered)
 
     assert outcome.accuracy_recovered > 15.0
     assert outcome.merged_report.mean_accuracy > 75.0

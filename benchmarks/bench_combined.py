@@ -6,10 +6,9 @@ accuracy under 28% "while incurring much less overhead than
 """
 
 from repro.experiments.discussion import combined_defense_accuracy
-from repro.util.tables import format_table
 
 
-def test_combined_defense(benchmark, scenario, save_result):
+def test_combined_defense(benchmark, scenario, save_table):
     result = benchmark.pedantic(
         combined_defense_accuracy, args=(scenario,), rounds=1, iterations=1
     )
@@ -18,7 +17,8 @@ def test_combined_defense(benchmark, scenario, save_result):
         for app in sorted(result.or_accuracy)
     ]
     rows.append(["Mean", result.or_mean, result.combined_mean])
-    rendered = format_table(
+    save_table(
+        "combined",
         ["app", "OR acc %", "OR+morph acc %"],
         rows,
         title=(
@@ -27,7 +27,6 @@ def test_combined_defense(benchmark, scenario, save_result):
             "paper: mean < 28% at much less than morphing's 39.4% overhead)"
         ),
     )
-    save_result("combined", rendered)
 
     assert result.combined_mean <= result.or_mean + 5.0
     # Much cheaper than full morphing (39.44% in Table VI).

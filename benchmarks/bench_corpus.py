@@ -15,10 +15,13 @@ vary):
   (``np.array_equal``) to the in-memory replay of the same traces, in
   the same order;
 * replay memory stays within the O(open windows) bound — peak buffered
-  packets never exceed the densest window x stations;
+  packets never exceed the densest window x stations, asserted from
+  the featurizer's telemetry gauges (the ``--profile`` numbers);
 * every persisted column round-trips byte-for-byte.
 
-Results persist to ``results/corpus.{txt,json}`` via ``save_table``.
+Results persist to ``results/corpus.{txt,json}`` via ``save_table``
+and the captured replay telemetry to ``results/corpus.profile.json``
+via ``save_profile``.
 """
 
 import os
@@ -26,6 +29,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.windows import window_edges
 from repro.storage import TraceStore
 from repro.stream import PacketStream, StreamingFeaturizer
@@ -69,7 +73,9 @@ def _featurize(stream):
     return featurizer, windows
 
 
-def test_corpus_lifecycle_throughput(save_table, tmp_path_factory, benchmark):
+def test_corpus_lifecycle_throughput(
+    save_table, save_profile, tmp_path_factory, benchmark
+):
     root = tmp_path_factory.mktemp("bench-corpus")
     store_path = str(root / "corpus.store")
     rows = []
@@ -116,8 +122,15 @@ def test_corpus_lifecycle_throughput(save_table, tmp_path_factory, benchmark):
 
     # -- replay off the maps vs. replay from RAM ---------------------------
     start = time.perf_counter()
-    disk_featurizer, disk_windows = _featurize(PacketStream.from_store(reopened))
+    with obs.capture(obs.PerfCounterSink()) as capture:
+        with obs.span("store.replay"):
+            disk_featurizer, disk_windows = _featurize(
+                PacketStream.from_store(reopened)
+            )
     stage("store replay+featurize", packets, time.perf_counter() - start)
+    save_profile(
+        "corpus", obs.profile_to_json(capture.run_profile("bench_corpus"))
+    )
 
     start = time.perf_counter()
     _, ram_windows = _featurize(
@@ -136,9 +149,10 @@ def test_corpus_lifecycle_throughput(save_table, tmp_path_factory, benchmark):
         assert disk.flow == ram.flow and disk.index == ram.index
         assert np.array_equal(disk.features, ram.features)
 
-    # Bounded memory: O(open windows), independent of corpus length.
+    # Bounded memory: O(open windows), independent of corpus length —
+    # asserted from the featurizer's telemetry gauges.
     bound = _densest_window(traces) * len(traces)
-    assert disk_featurizer.peak_open_packets <= bound
+    assert disk_featurizer.metrics.gauges["stream.peak_open_packets"] <= bound
     assert disk_featurizer.open_packets == 0
 
     # -- the CSV path, for contrast (one mid-size flow) --------------------

@@ -16,7 +16,6 @@ from repro.analysis.features import features_from_windows
 from repro.analysis.windows import sliding_windows
 from repro.traffic.apps import AppType
 from repro.traffic.generator import TrafficGenerator
-from repro.util.tables import format_table
 
 #: Apps spanning the packet-rate extremes (sparse chatting, ~435 pkt/s
 #: downloading) so the bench exercises both tiny and huge window counts.
@@ -42,7 +41,7 @@ def _timed(fn, *args, repeats=3):
     return result, best
 
 
-def test_featurization_speedup(benchmark, save_result):
+def test_featurization_speedup(benchmark, save_table):
     generator = TrafficGenerator(seed=7)
     flows = {app.value: generator.generate(app, duration=300.0) for app in BENCH_APPS}
 
@@ -79,12 +78,12 @@ def test_featurization_speedup(benchmark, save_result):
             total_legacy / total_batch,
         ]
     )
-    table = format_table(
+    save_table(
+        "featurization",
         ["app", "packets", "windows", "legacy (ms)", "batch (ms)", "speedup"],
         rows,
         title=f"Featurization: legacy per-window vs. batch engine (W={WINDOW}s)",
     )
-    save_result("featurization", table)
 
     # Timed under pytest-benchmark as well so the perf history tracks it.
     benchmark.pedantic(

@@ -11,10 +11,9 @@ from repro.core.schedulers import (
 from repro.experiments.discussion import reshaping_scalability
 from repro.traffic.apps import AppType
 from repro.traffic.generator import TrafficGenerator
-from repro.util.tables import format_table
 
 
-def test_scalability_linear(benchmark, save_result):
+def test_scalability_linear(benchmark, save_table):
     result = benchmark.pedantic(
         reshaping_scalability,
         kwargs={"seed": 7, "durations": (30.0, 60.0, 120.0, 240.0)},
@@ -27,13 +26,13 @@ def test_scalability_linear(benchmark, save_result):
             result.packet_counts, result.seconds_per_run, result.packets_per_second
         )
     ]
-    rendered = format_table(
+    save_table(
+        "scalability",
         ["packets", "seconds", "packets/s"],
         rows,
         title="Sec. V-B — OR scheduling cost across trace sizes (O(N))",
         float_digits=4,
     )
-    save_result("scalability", rendered)
     rates = result.packets_per_second
     assert max(rates) < 15 * min(rates)
 

@@ -6,9 +6,13 @@ This bench drives multi-hundred-thousand-packet replays through
 :class:`~repro.stream.featurizer.StreamingFeaturizer` (single flow and
 a merged multi-station capture), records throughput in packets/sec and
 windows/sec, and **asserts** the peak buffered state is bounded by the
-densest single window — O(open windows), not O(trace length).  Results
-persist to ``results/stream.txt`` + ``results/stream.json`` via
-``save_table`` so the throughput trajectory is tracked release over
+densest single window — O(open windows), not O(trace length).  The
+ceiling is asserted from the featurizer's own telemetry registry
+(``featurizer.metrics`` gauges — the numbers a ``--profile`` run
+reports), not ad-hoc attributes.  Results persist to
+``results/stream.txt`` + ``results/stream.json`` via ``save_table``
+and the captured telemetry to ``results/stream.profile.json`` via
+``save_profile``, so the throughput trajectory is tracked release over
 release (no wall-clock thresholds — single-core hosts vary; the memory
 bound is the hard assertion).
 """
@@ -17,6 +21,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.windows import window_edges
 from repro.stream import PacketStream, StreamingFeaturizer
 from repro.traffic.apps import AppType
@@ -42,44 +47,52 @@ def _densest_window(traces):
     )
 
 
-def test_stream_throughput_and_memory_bound(benchmark, save_table):
+def test_stream_throughput_and_memory_bound(benchmark, save_table, save_profile):
     generator = TrafficGenerator(seed=7)
     rows = []
+    capture = obs.ProfileCapture(obs.PerfCounterSink())
     for label, apps, duration in CASES:
         traces = [generator.generate(app, duration) for app in apps]
-        streams = [
-            PacketStream.replay(trace, station=f"sta{index}")
-            for index, trace in enumerate(traces)
-        ]
-        featurizer = StreamingFeaturizer(WINDOW)
-        start = time.perf_counter()
-        for event in PacketStream.merge(streams):
-            featurizer.push_event(event)
-        featurizer.flush()
-        elapsed = time.perf_counter() - start
+        with obs.collecting(capture.metrics), obs.recording(capture.recorder):
+            with obs.span(f"case[{label}]"):
+                streams = [
+                    PacketStream.replay(trace, station=f"sta{index}")
+                    for index, trace in enumerate(traces)
+                ]
+                featurizer = StreamingFeaturizer(WINDOW)
+                start = time.perf_counter()
+                for event in PacketStream.merge(streams):
+                    featurizer.push_event(event)
+                featurizer.flush()
+                elapsed = time.perf_counter() - start
 
         packets = sum(len(trace) for trace in traces)
         densest = _densest_window(traces)
-        # The bounded-memory guarantee: resident state scales with open
-        # windows (one per station, each at most one window of packets),
-        # never with how long the capture ran.
-        assert featurizer.peak_open_packets <= densest * len(traces)
-        assert featurizer.peak_open_packets < packets / 10
+        # The bounded-memory guarantee, asserted from the featurizer's
+        # telemetry gauges: resident state scales with open windows
+        # (one per station, each at most one window of packets), never
+        # with how long the capture ran.
+        gauges = featurizer.metrics.gauges
+        counters = featurizer.metrics.counters
+        assert gauges["stream.peak_open_packets"] <= densest * len(traces)
+        assert gauges["stream.peak_open_packets"] < packets / 10
         assert featurizer.open_packets == 0
-        assert featurizer.peak_open_flows == len(traces)
+        assert gauges["stream.peak_open_flows"] == len(traces)
+        assert counters["stream.windows_closed"] == featurizer.windows_emitted
 
         rows.append(
             [
                 label,
                 packets,
-                featurizer.windows_emitted,
-                featurizer.peak_open_packets,
+                counters["stream.windows_closed"],
+                gauges["stream.peak_open_packets"],
                 densest * len(traces),
                 packets / elapsed,
-                featurizer.windows_emitted / elapsed,
+                counters["stream.windows_closed"] / elapsed,
             ]
         )
 
+    save_profile("stream", obs.profile_to_json(capture.run_profile("bench_stream")))
     save_table(
         "stream",
         [

@@ -1,17 +1,17 @@
 """D-TPC: RSSI power analysis and the TPC counter-measure (Sec. V-A)."""
 
 from repro.experiments.discussion import tpc_linking_experiment
-from repro.util.tables import format_table
 
 
-def test_tpc_linking(benchmark, save_result):
+def test_tpc_linking(benchmark, save_table):
     result = benchmark.pedantic(
         tpc_linking_experiment,
         kwargs={"seed": 7, "duration": 25.0, "stations": 3},
         rounds=1,
         iterations=1,
     )
-    rendered = format_table(
+    save_table(
+        "tpc_linking",
         ["setting", "pairwise linking accuracy"],
         [
             ["fixed TX power", result.accuracy_without_tpc],
@@ -22,7 +22,6 @@ def test_tpc_linking(benchmark, save_result):
             f"({result.flows_observed} observable flows)"
         ),
     )
-    save_result("tpc_linking", rendered)
 
     # Without TPC the RSSI fingerprint links the virtual interfaces of a
     # card; per-packet TPC degrades the linker.

@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from repro import obs
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import EvaluationScenario
 from repro.util.results import ExperimentResult
@@ -77,5 +78,24 @@ def save_table(save_result):
         )
         save_result(name, result.to_text(float_digits=float_digits))
         result.write(os.path.join(RESULTS_DIR, f"{name}.json"))
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_profile():
+    """Persist a captured obs profile next to the bench's results.
+
+    Takes the v1 JSON payload (:func:`repro.obs.profile_to_json`) and
+    writes ``results/<name>.profile.json`` — the same schema ``repro
+    run --profile-output`` emits, so bench telemetry diffs with the
+    same tooling.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, payload) -> None:
+        obs.write_profile(
+            payload, os.path.join(RESULTS_DIR, f"{name}.profile.json")
+        )
 
     return _save

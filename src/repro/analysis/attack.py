@@ -29,6 +29,8 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.scaler import StandardScaler
 from repro.defenses.base import DefendedTraffic
+from repro.obs import add as obs_add
+from repro.obs import span as obs_span
 from repro.traffic.trace import Trace
 
 __all__ = ["AttackPipeline", "AttackReport", "DefenseEvaluation"]
@@ -217,7 +219,10 @@ class AttackPipeline:
         matrix = np.asarray(matrix, dtype=np.float64)
         if len(matrix) == 0:
             return []
-        predictions = self._classifier.predict(self.transform_matrix(matrix))
+        obs_add("classify.calls")
+        obs_add("classify.windows", len(matrix))
+        with obs_span("classify"):
+            predictions = self._classifier.predict(self.transform_matrix(matrix))
         return [self._classes[int(index)] for index in predictions]
 
     def classify_windows(self, windows: list[Trace]) -> list[str]:
@@ -250,15 +255,22 @@ class AttackPipeline:
         """
         matrices: list[np.ndarray] = []
         true_labels: list[str] = []
-        for label, flows in flows_by_label.items():
-            for flow in flows:
-                if cache is not None:
-                    matrix = cache.feature_matrix(flow, self.window, self.min_packets)
-                else:
-                    matrix = flow_feature_matrix(flow, self.window, self.min_packets)
-                if len(matrix):
-                    matrices.append(matrix)
-                    true_labels.extend([label] * len(matrix))
+        with obs_span("featurize"):
+            for label, flows in flows_by_label.items():
+                for flow in flows:
+                    if cache is not None:
+                        matrix = cache.feature_matrix(
+                            flow, self.window, self.min_packets
+                        )
+                    else:
+                        matrix = flow_feature_matrix(
+                            flow, self.window, self.min_packets
+                        )
+                    obs_add("featurize.flows")
+                    obs_add("featurize.windows", len(matrix))
+                    if len(matrix):
+                        matrices.append(matrix)
+                        true_labels.extend([label] * len(matrix))
         if matrices:
             predicted = self.classify_matrix(np.concatenate(matrices, axis=0))
         else:

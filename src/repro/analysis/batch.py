@@ -43,6 +43,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.features import _IAT_EPSILON, FEATURE_NAMES
 from repro.analysis.windows import window_edges, window_key
 from repro.traffic.packet import DOWNLINK, UPLINK
@@ -218,6 +219,7 @@ class WindowCache:
     def __init__(self) -> None:
         self._features: dict[tuple[int, float, int], np.ndarray] = {}
         self._flows: dict[tuple[int, int], list[Trace]] = {}
+        self._subprofiles: dict[tuple[int, int], "obs.Subprofile | None"] = {}
         self._pinned: dict[int, object] = {}
         self.hits: int = 0
         self.misses: int = 0
@@ -234,12 +236,14 @@ class WindowCache:
         cached = self._features.get(key)
         if cached is None:
             self.misses += 1
+            obs.add("proc.window_cache.feature_misses")
             # repro-lint: allow[nondeterminism]: pin keeps the id() key alive; cache never crosses a process boundary
             self._pinned[id(flow)] = flow
             cached = flow_feature_matrix(flow, window, min_packets)
             self._features[key] = cached
         else:
             self.hits += 1
+            obs.add("proc.window_cache.feature_hits")
         return cached
 
     def observable_flows(
@@ -254,26 +258,52 @@ class WindowCache:
         (scheme, trace); ``scheme`` may be ``None`` for the undefended
         original.
         """
+        flows, _ = self.defended_flows(
+            scheme, trace, lambda: (list(build()), None)
+        )
+        return flows
+
+    def defended_flows(
+        self,
+        scheme: object,
+        trace: Trace,
+        build: Callable[[], tuple[list[Trace], "obs.Subprofile | None"]],
+    ) -> tuple[list[Trace], "obs.Subprofile | None"]:
+        """Like :meth:`observable_flows`, carrying captured telemetry.
+
+        ``build`` returns ``(flows, subprofile)`` where the subprofile
+        is the telemetry the scheme application recorded while it
+        physically ran (see :func:`repro.obs.captured`).  The cache
+        stores both and hands the subprofile back on *every* request —
+        hit or miss — so callers can :func:`repro.obs.replay` it and
+        keep counters logical: a cell sees the same counts whether its
+        flows were computed here or reused from a warmer cache.
+        """
         # repro-lint: allow[nondeterminism]: cache is strictly process-local (never pickled) and pins sources against id() reuse
         key = (id(scheme), id(trace))
         flows = self._flows.get(key)
         if flows is None:
             self.misses += 1
+            obs.add("proc.window_cache.flow_misses")
             # repro-lint: allow[nondeterminism]: pin keeps the id() key alive; cache never crosses a process boundary
             self._pinned[id(trace)] = trace
             if scheme is not None:
                 # repro-lint: allow[nondeterminism]: pin keeps the id() key alive; cache never crosses a process boundary
                 self._pinned[id(scheme)] = scheme
-            flows = list(build())
+            flows, subprofile = build()
+            flows = list(flows)
             self._flows[key] = flows
+            self._subprofiles[key] = subprofile
         else:
             self.hits += 1
-        return flows
+            obs.add("proc.window_cache.flow_hits")
+        return flows, self._subprofiles.get(key)
 
     def clear(self) -> None:
         """Drop every cached artifact (and the object pins)."""
         self._features.clear()
         self._flows.clear()
+        self._subprofiles.clear()
         self._pinned.clear()
         self.hits = 0
         self.misses = 0

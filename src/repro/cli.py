@@ -29,6 +29,14 @@ Commands:
   compositions (stages joined with ``+``) and ``--scheme-set``
   overrides a parameter on every stage that declares it.
 
+``--profile`` (on ``run``, ``bench``, and ``corpus info``/``run``)
+captures the deterministic telemetry layer (:mod:`repro.obs`): logical
+counters, high-water gauges, and the span tree, rendered after the
+result and optionally persisted as a stable v1 JSON payload with
+``--profile-output PATH``.  ``run`` profiles carry counts only and are
+bit-identical between ``--jobs 1`` and ``--jobs N``; ``bench`` attaches
+a wall-clock sink so spans also carry durations.
+
 Scenario scale flags (``--seed``, ``--train-duration``,
 ``--eval-duration``, ``--train-sessions``, ``--eval-sessions``) select
 the corpus; experiment-specific knobs (window grids, interface counts)
@@ -44,6 +52,7 @@ import sys
 import time
 from collections.abc import Sequence
 
+from repro import obs
 from repro.experiments import registry
 from repro.experiments.parallel import (
     clear_worker_state,
@@ -115,6 +124,21 @@ def _add_scheme_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("profiling")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="capture deterministic telemetry (repro.obs counters, "
+        "gauges, span tree) and render it after the result; counts are "
+        "bit-identical between --jobs 1 and --jobs N",
+    )
+    group.add_argument(
+        "--profile-output", metavar="PATH", default=None,
+        help="also write the profile as stable v1 JSON to PATH "
+        "(implies --profile)",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("experiment", help="registered experiment name (see `repro list`)")
     parser.add_argument(
@@ -139,6 +163,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     _add_scheme_arguments(parser)
     _add_scenario_arguments(parser)
+    _add_profile_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output format (default: %(default)s)",
     )
+    info_parser.add_argument(
+        "--profile", action="store_true",
+        help="capture the store-open telemetry (manifest parse counters, "
+        "bytes/traces/packets gauges) and render it with the summary",
+    )
 
     corpus_run_parser = corpus_commands.add_parser(
         "run", help="run an experiment against a persisted corpus",
@@ -306,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", metavar="PATH", default=None,
         help="also write the result to PATH",
     )
+    _add_profile_arguments(corpus_run_parser)
     return parser
 
 
@@ -534,16 +565,41 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_flags(args: argparse.Namespace) -> tuple[bool, str | None]:
+    """(profiling enabled, profile output path); the path implies the flag."""
+    path = getattr(args, "profile_output", None)
+    return bool(getattr(args, "profile", False) or path), path
+
+
+def _emit_profile(payload, path: str | None, render: bool = True) -> None:
+    """Print and/or persist one captured profile payload."""
+    if render:
+        print(obs.render_profile(payload))
+    if path:
+        obs.write_profile(payload, path)
+        print(f"repro: wrote profile to {path}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     _, params, resolved, _ = _prepare_run(args)
+    profiling, profile_path = _profile_flags(args)
     result = run_experiment_result(
         args.experiment,
         params=params,
         options=resolved,
         jobs=_resolve_jobs(args.jobs),
         start_method=args.start_method,
+        profile=profiling,
     )
+    # JSON output already embeds the payload under its "profile" key
+    # (ExperimentResult.to_json), so only the text rendering appends it.
     print(result.render(args.format or "text"))
+    if profiling:
+        _emit_profile(
+            result.meta["profile"],
+            profile_path,
+            render=(args.format or "text") == "text",
+        )
     if args.output:
         # An explicit --format wins; otherwise the suffix picks the
         # file format (unknown suffixes fall back to text).
@@ -554,6 +610,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     _, params, resolved, n_cells = _prepare_run(args)
+    profiling, profile_path = _profile_flags(args)
     # Report the worker count that will actually run: the executor
     # clamps to the cell count, so a single-cell experiment at --jobs 8
     # is still serial and must not print a fake "parallel" timing.
@@ -562,7 +619,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     clear_worker_state()
     start = time.perf_counter()
-    run_experiment_result(args.experiment, params=params, options=resolved, jobs=1)
+    # The serial leg carries the profile: timing=True attaches the
+    # wall-clock sink, so its span tree explains where serial time goes.
+    serial_result = run_experiment_result(
+        args.experiment, params=params, options=resolved, jobs=1,
+        timing=profiling,
+    )
     serial_seconds = time.perf_counter() - start
     timings.append(["serial (--jobs 1)", serial_seconds, 1.0])
 
@@ -598,6 +660,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(cold caches; parallel speedup scales with physical cores)",
         )
     )
+    if profiling:
+        _emit_profile(serial_result.meta["profile"], profile_path)
     return 0
 
 
@@ -615,7 +679,7 @@ def _corpus_summary_rows(store) -> list[list[object]]:
     ]
 
 
-def _print_corpus_summary(store, fmt: str = "text") -> None:
+def _print_corpus_summary(store, fmt: str = "text", profile=None) -> None:
     recipe = store.scenario or {}
     specs = store.scheme_specs()
     if fmt == "json":
@@ -631,6 +695,8 @@ def _print_corpus_summary(store, fmt: str = "text") -> None:
                 for row in _corpus_summary_rows(store)
             ],
         }
+        if profile is not None:
+            payload["profile"] = profile
         print(json.dumps(json_safe(payload), indent=2))
         return
     scale = ", ".join(f"{key}={value}" for key, value in recipe.items()) or "none"
@@ -644,6 +710,8 @@ def _print_corpus_summary(store, fmt: str = "text") -> None:
             f"(scenario: {scale}{scheme_note})",
         )
     )
+    if profile is not None:
+        print(obs.render_profile(profile))
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -737,11 +805,19 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         _print_corpus_summary(store)
         return 0
     if args.corpus_command == "info":
+        payload = None
         try:
-            store = TraceStore.open(args.path)
+            if getattr(args, "profile", False):
+                # The open itself is what the profile describes: manifest
+                # parse counters plus the bytes/traces/packets gauges.
+                with obs.capture() as cap:
+                    store = TraceStore.open(args.path)
+                payload = obs.profile_to_json(cap.run_profile("corpus-info"))
+            else:
+                store = TraceStore.open(args.path)
         except (OSError, StoreFormatError) as error:
             raise _UsageError(str(error)) from error
-        _print_corpus_summary(store, fmt=args.format)
+        _print_corpus_summary(store, fmt=args.format, profile=payload)
         return 0
     if args.corpus_command == "run":
         args.corpus = args.path

@@ -30,6 +30,9 @@ import multiprocessing
 import os
 from collections.abc import Callable, Mapping
 
+from dataclasses import replace
+
+from repro import obs
 from repro.experiments import registry
 from repro.experiments.registry import ExperimentCell, ScenarioParams
 from repro.experiments.runner import ExperimentRunner
@@ -60,9 +63,16 @@ _WORKER_STATE: dict[object, object] = {}
 
 
 def worker_cached(key: object, build: Callable[[], object]) -> object:
-    """Return the process-local value for ``key``, building it once."""
+    """Return the process-local value for ``key``, building it once.
+
+    Builds run :func:`repro.obs.unattributed`: a memoized corpus or
+    runner is shared state the serial path constructs once and each
+    parallel worker reconstructs, so its telemetry belongs to the
+    ``proc.*`` namespace rather than to whichever cell got here first.
+    """
     if key not in _WORKER_STATE:
-        _WORKER_STATE[key] = build()
+        with obs.unattributed():
+            _WORKER_STATE[key] = build()
     return _WORKER_STATE[key]
 
 
@@ -106,10 +116,27 @@ def _init_worker() -> None:
     import repro.experiments  # noqa: F401  (imports register all specs)
 
 
-def _execute_cell(payload: tuple[str, ExperimentCell]) -> object:
-    """Run one cell inside a worker (or in-process for the serial path)."""
-    name, cell = payload
-    return registry.get(name).run_cell(cell)
+def _execute_cell(
+    payload: tuple[str, ExperimentCell, str | None],
+) -> tuple[object, "obs.CellProfile | None"]:
+    """Run one cell inside a worker (or in-process for the serial path).
+
+    ``mode`` selects telemetry: ``None`` runs bare, ``"counts"`` opens
+    a deterministic capture, ``"timed"`` additionally attaches a
+    :class:`~repro.obs.PerfCounterSink` so spans carry durations
+    (``repro bench --profile`` — excluded from the bit-identity
+    contract by construction).
+    """
+    name, cell, mode = payload
+    spec = registry.get(name)
+    if mode is None:
+        return spec.run_cell(cell), None
+    sink = obs.PerfCounterSink() if mode == "timed" else None
+    with obs.capture(sink) as cap:
+        with obs.span(f"cell[{cell.name}]"):
+            obs.add("executor.cells_run")
+            result = spec.run_cell(cell)
+    return result, cap.cell_profile(cell.name)
 
 
 def _run_resolved(
@@ -118,22 +145,32 @@ def _run_resolved(
     resolved: dict[str, object],
     jobs: int,
     start_method: str | None,
-) -> object:
+    mode: str | None = None,
+) -> tuple[object, "obs.RunProfile | None"]:
     """Execute a spec whose options are already validated/coerced."""
     cells = spec.build_cells(params, resolved)
     if not cells:
         raise ValueError(f"experiment {spec.name!r} produced no cells")
-    payloads = [(spec.name, cell) for cell in cells]
+    payloads = [(spec.name, cell, mode) for cell in cells]
     jobs = max(1, min(int(jobs), len(cells)))
     if jobs == 1:
-        cell_results = [_execute_cell(payload) for payload in payloads]
+        outcomes = [_execute_cell(payload) for payload in payloads]
     else:
         context = multiprocessing.get_context(start_method)
         with context.Pool(processes=jobs, initializer=_init_worker) as pool:
             # chunksize=1: cells are few and coarse (a full train +
             # evaluate each); fine-grained dispatch balances the load.
-            cell_results = pool.map(_execute_cell, payloads, chunksize=1)
-    return spec.combine(params, resolved, cell_results)
+            outcomes = pool.map(_execute_cell, payloads, chunksize=1)
+    cell_results = [result for result, _ in outcomes]
+    combined = spec.combine(params, resolved, cell_results)
+    profile = None
+    if mode is not None:
+        # Fold in cell order (pool.map preserves it); the registry's
+        # merge laws make the totals order-independent anyway.
+        profile = obs.merge_profiles(
+            spec.name, [cell_profile for _, cell_profile in outcomes]
+        )
+    return combined, profile
 
 
 def run_experiment(
@@ -167,7 +204,10 @@ def run_experiment(
     _init_worker()
     spec = registry.get(name)
     params = params or ScenarioParams()
-    return _run_resolved(spec, params, spec.resolve_options(options), jobs, start_method)
+    combined, _ = _run_resolved(
+        spec, params, spec.resolve_options(options), jobs, start_method
+    )
+    return combined
 
 
 def run_experiment_result(
@@ -176,11 +216,30 @@ def run_experiment_result(
     options: Mapping[str, object] | None = None,
     jobs: int = 1,
     start_method: str | None = None,
+    profile: bool = False,
+    timing: bool = False,
 ) -> ExperimentResult:
-    """Run an experiment and render it as a structured artifact."""
+    """Run an experiment and render it as a structured artifact.
+
+    With ``profile=True`` the executor captures per-cell telemetry and
+    attaches the merged v1 payload under ``result.meta["profile"]``
+    (surfacing in ``to_json`` as the ``"profile"`` key — absent
+    otherwise, so existing JSON consumers and the golden snapshots are
+    untouched).  ``timing=True`` (implies ``profile``) attaches a
+    wall-clock sink so spans carry durations; only the benchmark
+    surfaces use it.
+    """
     _init_worker()
     spec = registry.get(name)
     params = params or ScenarioParams()
     resolved = spec.resolve_options(options)
-    combined = _run_resolved(spec, params, resolved, jobs, start_method)
-    return spec.to_result(params, resolved, combined)
+    mode = "timed" if timing else ("counts" if profile else None)
+    combined, run_profile = _run_resolved(
+        spec, params, resolved, jobs, start_method, mode
+    )
+    result = spec.to_result(params, resolved, combined)
+    if run_profile is not None:
+        result = replace(
+            result, meta={"profile": obs.profile_to_json(run_profile)}
+        )
+    return result

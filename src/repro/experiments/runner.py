@@ -20,16 +20,17 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.attack import AttackPipeline, AttackReport
 from repro.analysis.batch import WindowCache
 from repro.analysis.windows import window_key
 from repro.core.base import Reshaper
-from repro.core.engine import ReshapingEngine
 from repro.experiments.scenarios import EvaluationScenario, build_schemes
 from repro.schemes import (
     DEFAULT_INTERFACES,
     Scheme,
     SchemeSpec,
+    as_scheme,
     build_stack,
     canonical_stack,
 )
@@ -66,9 +67,15 @@ class ExperimentRunner:
     def pipeline(self, window: float) -> AttackPipeline:
         """The trained attack pipeline for eavesdropping duration ``window``."""
         key = window_key(window)
+        obs.add("pipeline.requests")
         if key not in self._pipelines:
-            pipeline = AttackPipeline(window=window, seed=self.scenario.seed)
-            pipeline.train(self.scenario.training_traces())
+            # Training is memoized shared state: the serial path pays it
+            # once, each parallel worker once — so its telemetry goes to
+            # the proc.* namespace, not to whichever cell got here first.
+            with obs.unattributed():
+                obs.add("pipeline.trained")
+                pipeline = AttackPipeline(window=window, seed=self.scenario.seed)
+                pipeline.train(self.scenario.training_traces())
             self._pipelines[key] = pipeline
         return self._pipelines[key]
 
@@ -90,7 +97,8 @@ class ExperimentRunner:
             composition = (composition,)
         key = canonical_stack(composition)
         if key not in self._built:
-            self._built[key] = build_stack(key, self.scenario.seed)
+            with obs.unattributed():
+                self._built[key] = build_stack(key, self.scenario.seed)
         return self._built[key]
 
     def observable_flows(
@@ -98,7 +106,14 @@ class ExperimentRunner:
         scheme: "SchemeLike",
         trace: Trace,
     ) -> list[Trace]:
-        """What the eavesdropper captures when ``trace`` runs under ``scheme``."""
+        """What the eavesdropper captures when ``trace`` runs under ``scheme``.
+
+        Telemetry is cache-transparent: the scheme application records
+        its counters/spans into a captured subprofile stored next to
+        the memoized flows, and every request — hit or miss — replays
+        it.  A cell therefore observes identical ``scheme.*`` counts
+        whether it shares a warm serial cache or a cold per-worker one.
+        """
         if scheme is None:
             return [trace]
         if isinstance(scheme, (SchemeSpec, str)) or (
@@ -107,17 +122,19 @@ class ExperimentRunner:
         ):
             scheme = self.scheme(scheme)
         if isinstance(scheme, Scheme):
-            return self._cache.observable_flows(
-                scheme,
-                trace,
-                lambda: scheme.apply(trace).observable_flows,
-            )
-        reshaper = scheme
-        return self._cache.observable_flows(
-            reshaper,
+            applied = scheme
+        else:
+            # Legacy bare reshapers route through the Scheme adapter so
+            # they hit the same instrumentation; the cache stays keyed
+            # on the reshaper itself (identity is what callers share).
+            applied = as_scheme(scheme)
+        flows, subprofile = self._cache.defended_flows(
+            scheme,
             trace,
-            lambda: ReshapingEngine(reshaper).apply(trace).observable_flows,
+            lambda: obs.captured(lambda: applied.apply(trace).observable_flows),
         )
+        obs.replay(subprofile)
+        return flows
 
     def evaluate_scheme(
         self,

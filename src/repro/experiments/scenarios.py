@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.base import Reshaper
 from repro.schemes import (
     DEFAULT_INTERFACES,
@@ -206,14 +207,19 @@ class EvaluationScenario:
 
     def training_by_app(self) -> dict[AppType, list[Trace]]:
         """Per-app undefended training captures (generated lazily, cached)."""
-        if not self._train:
-            generator = self._generator()
-            for app in self.apps:
-                self._train[app] = [
-                    generator.generate(app, self.train_duration, session=s)
-                    for s in range(self.train_sessions)
-                ]
-        return {app: list(traces) for app, traces in self._train.items()}
+        with obs.span("scenario.generate"):
+            if not self._train:
+                # Lazy generation is memoized shared state — telemetry
+                # recorded inside lands in the proc.* namespace so the
+                # first cell to touch the corpus isn't charged for it.
+                with obs.unattributed():
+                    generator = self._generator()
+                    for app in self.apps:
+                        self._train[app] = [
+                            generator.generate(app, self.train_duration, session=s)
+                            for s in range(self.train_sessions)
+                        ]
+            return {app: list(traces) for app, traces in self._train.items()}
 
     def training_traces(self) -> dict[str, list[Trace]]:
         """Training captures keyed by class label (the classifier-facing view)."""
@@ -225,15 +231,19 @@ class EvaluationScenario:
 
     def evaluation_by_app(self) -> dict[AppType, list[Trace]]:
         """Held-out evaluation captures for every app (cached)."""
-        if not self._eval:
-            generator = self._generator()
-            base = self.train_sessions + 100  # disjoint from training sessions
-            for app in self.apps:
-                self._eval[app] = [
-                    generator.generate(app, self.eval_duration, session=base + s)
-                    for s in range(self.eval_sessions)
-                ]
-        return {app: list(traces) for app, traces in self._eval.items()}
+        with obs.span("scenario.generate"):
+            if not self._eval:
+                with obs.unattributed():
+                    generator = self._generator()
+                    base = self.train_sessions + 100  # disjoint from training
+                    for app in self.apps:
+                        self._eval[app] = [
+                            generator.generate(
+                                app, self.eval_duration, session=base + s
+                            )
+                            for s in range(self.eval_sessions)
+                        ]
+            return {app: list(traces) for app, traces in self._eval.items()}
 
     def evaluation_traces(self) -> dict[AppType, list[Trace]]:
         """Alias of :meth:`evaluation_by_app` (kept for existing callers)."""

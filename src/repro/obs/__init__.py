@@ -1,0 +1,83 @@
+"""repro.obs — the deterministic telemetry layer.
+
+Counters, gauges, histograms (:mod:`~repro.obs.counters`), span trees
+(:mod:`~repro.obs.spans`), and profile assembly/serialization
+(:mod:`~repro.obs.profile`), with one hard rule: *everything is a pure
+count unless a* :class:`~repro.obs.timing.TimingSink` *is explicitly
+attached*.  The split keeps profiled runs inside the repo's
+reproducibility contract — a ``--profile --jobs 2`` run emits counters
+and span structure bit-identical to the serial run — and keeps the R2
+``nondeterminism`` lint rule airtight: ``obs/timing.py`` is the only
+sanctioned clock source outside ``cli.py``/``devtools/``.
+
+Instrumentation sites throughout the library call the cheap
+module-level helpers (:func:`add`, :func:`gauge`, :func:`observe`,
+:func:`span`); they no-op unless the executor (or a benchmark) has
+opened a :func:`capture` in this process.
+"""
+
+from repro.obs.counters import (
+    PROCESS_PREFIX,
+    MetricsRegistry,
+    active_metrics,
+    add,
+    bucket_label,
+    collecting,
+    gauge,
+    is_unattributed,
+    observe,
+    unattributed,
+)
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    PROFILE_VERSION,
+    CellProfile,
+    ProfileCapture,
+    RunProfile,
+    Subprofile,
+    capture,
+    captured,
+    deterministic_view,
+    merge_profiles,
+    profile_to_json,
+    profiles_equal_deterministic,
+    render_profile,
+    replay,
+    write_profile,
+)
+from repro.obs.spans import SpanNode, SpanRecorder, recording, span
+from repro.obs.timing import PerfCounterSink, TimingSink
+
+__all__ = [
+    "PROCESS_PREFIX",
+    "PROFILE_FORMAT",
+    "PROFILE_VERSION",
+    "CellProfile",
+    "MetricsRegistry",
+    "PerfCounterSink",
+    "ProfileCapture",
+    "RunProfile",
+    "SpanNode",
+    "SpanRecorder",
+    "Subprofile",
+    "TimingSink",
+    "active_metrics",
+    "add",
+    "bucket_label",
+    "capture",
+    "captured",
+    "collecting",
+    "deterministic_view",
+    "gauge",
+    "is_unattributed",
+    "merge_profiles",
+    "observe",
+    "profile_to_json",
+    "profiles_equal_deterministic",
+    "recording",
+    "render_profile",
+    "replay",
+    "span",
+    "unattributed",
+    "write_profile",
+]

@@ -1,0 +1,183 @@
+"""Hierarchical span tracing with deterministic structure.
+
+A span tree records *where* work happens inside a cell::
+
+    cell[scheme=OR]
+      scenario.generate ×1
+      scheme.apply[OR] ×4
+      featurize ×1
+      classify ×1
+
+Structure and counts are pure functions of the code path, so the tree
+a profiled ``--jobs 2`` run merges together is node-for-node identical
+to the serial one.  Wall-clock durations are attached only when the
+recorder carries a :class:`~repro.obs.timing.TimingSink` (``repro
+bench --profile`` and the benchmark drivers); ``repro run --profile``
+records no sink and stays fully deterministic.
+
+Spans respect the same attribution rule as counters: inside
+:func:`repro.obs.counters.unattributed` (memoized corpus/pipeline
+builds) the :func:`span` helper is a no-op, because a span that fires
+once in a serial run but once per worker in parallel would break the
+structural-identity contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs.counters import is_unattributed
+from repro.obs.timing import TimingSink
+
+__all__ = [
+    "SpanNode",
+    "SpanRecorder",
+    "active_recorder",
+    "attach",
+    "recording",
+    "span",
+]
+
+
+class SpanNode:
+    """One node of the span tree: a name, a count, and ordered children.
+
+    ``seconds`` stays ``None`` unless a timing sink measured the node —
+    the JSON rendering omits the key entirely for untimed profiles, so
+    a deterministic profile has no nondeterministic fields to strip.
+    Nodes are plain picklable data and merge recursively by name.
+    """
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self.count: int = 0
+        self.seconds: float | None = None
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """The named child, created on first use (insertion-ordered)."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def add_seconds(self, delta: float) -> None:
+        """Accumulate measured wall-clock time on this node."""
+        self.seconds = (self.seconds or 0.0) + float(delta)
+
+    def merge_in(self, other: "SpanNode") -> None:
+        """Fold ``other``'s counts, durations, and subtree into this node."""
+        self.count += other.count
+        if other.seconds is not None:
+            self.add_seconds(other.seconds)
+        for name, theirs in other.children.items():
+            self.child(name).merge_in(theirs)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view; ``seconds`` included only when measured."""
+        payload: dict[str, object] = {"name": self.name, "count": self.count}
+        if self.seconds is not None:
+            payload["seconds"] = self.seconds
+        payload["children"] = [node.as_dict() for node in self.children.values()]
+        return payload
+
+    # __slots__ classes need explicit state hooks to pickle under the
+    # text protocols too, not just protocol >= 2.
+    def __getstate__(self) -> tuple:
+        return (self.name, self.count, self.seconds, self.children)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.name, self.count, self.seconds, self.children = state
+
+    def render(self, indent: str = "") -> list[str]:
+        """The text-tree lines for this node and its subtree."""
+        label = f"{indent}{self.name} ×{self.count}"
+        if self.seconds is not None:
+            label += f"  [{self.seconds * 1e3:.2f} ms]"
+        lines = [label]
+        for node in self.children.values():
+            lines.extend(node.render(indent + "  "))
+        return lines
+
+
+class SpanRecorder:
+    """Process-local span stack feeding one tree root.
+
+    The executor installs one recorder per cell; nested :func:`span`
+    contexts attach children to whatever node is currently open.  A
+    recorder constructed without a sink never reads a clock.
+    """
+
+    def __init__(self, sink: TimingSink | None = None) -> None:
+        self.root = SpanNode("run")
+        self.sink = sink
+        self._stack: list[SpanNode] = [self.root]
+
+    @property
+    def current(self) -> SpanNode:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanNode]:
+        node = self._stack[-1].child(name)
+        node.count += 1
+        self._stack.append(node)
+        started = self.sink.now() if self.sink is not None else None
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+            if started is not None:
+                node.add_seconds(self.sink.now() - started)
+
+
+_ACTIVE: SpanRecorder | None = None
+
+
+def active_recorder() -> SpanRecorder | None:
+    """The recorder currently collecting in this process, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def recording(recorder: SpanRecorder) -> Iterator[SpanRecorder]:
+    """Make ``recorder`` the process's active span target (save/restore)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def span(name: str) -> Iterator[SpanNode | None]:
+    """Record a span under the active recorder; no-op when off or paused."""
+    recorder = _ACTIVE
+    if recorder is None or is_unattributed():
+        yield None
+        return
+    with recorder.span(name) as node:
+        yield node
+
+
+def attach(subtree: SpanNode) -> None:
+    """Replay a captured span subtree under the currently open span.
+
+    The counterpart of :func:`repro.obs.counters.replay_metrics`: the
+    window cache stores the span subtree a scheme application produced
+    when it physically ran, and every later request re-attaches it —
+    so span counts stay logical and cache-warmth-independent.
+    """
+    recorder = _ACTIVE
+    if recorder is None or is_unattributed():
+        return
+    current = recorder.current
+    for name, child in subtree.children.items():
+        current.child(name).merge_in(child)

@@ -1,0 +1,36 @@
+"""Opt-in wall-clock sinks: the one sanctioned clock source in the library.
+
+Everything else in :mod:`repro.obs` is deterministic by construction —
+span *structure and counts* never touch a clock.  Durations exist only
+when a caller attaches a :class:`TimingSink` to a
+:class:`~repro.obs.spans.SpanRecorder`, and only the surfaces that are
+allowed to observe this machine (``repro bench``, the benchmark
+drivers, the CLI) ever construct one.
+
+This module is the only place outside ``cli.py`` / ``devtools/`` where
+the R2 ``nondeterminism`` lint rule permits a clock call (see
+``repro/devtools/rules/nondeterminism.py`` — the exemption is scoped to
+exactly this file, so a clock smuggled anywhere else in ``obs/`` still
+fails ``repro lint``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PerfCounterSink", "TimingSink"]
+
+
+class TimingSink:
+    """Interface for span-duration clocks; subclass and return seconds."""
+
+    def now(self) -> float:
+        """The current time in seconds (monotonic preferred)."""
+        raise NotImplementedError
+
+
+class PerfCounterSink(TimingSink):
+    """The standard sink: monotonic, high-resolution, benchmark-grade."""
+
+    def now(self) -> float:
+        return time.perf_counter()

@@ -39,6 +39,7 @@ from dataclasses import replace
 from repro.core.base import Reshaper
 from repro.core.engine import ReshapingEngine
 from repro.defenses.base import DefendedTraffic, Defense, StageOverhead
+from repro.obs import add, observe, span
 from repro.traffic.trace import Trace
 
 __all__ = [
@@ -49,6 +50,32 @@ __all__ = [
     "SchemeStack",
     "as_scheme",
 ]
+
+
+def _record_apply(name: str, defended: DefendedTraffic) -> DefendedTraffic:
+    """Telemetry for one leaf scheme application.
+
+    Counters are additive per apply — aggregate totals plus a
+    ``scheme[<name>].*`` breakdown (the paper's per-stage overhead
+    accounting, as counters) — and record into whatever collection
+    context is active, so the window cache's capture-and-replay makes
+    them follow logical requests, not physical executions.  Stacks do
+    not call this: their stages are leaves and already counted, which
+    keeps the byte totals additive instead of double-counted.
+    """
+    flows = defended.observable_flows
+    packets_out = sum(len(flow) for flow in flows)
+    add("scheme.apply_calls")
+    add("scheme.packets_in", len(defended.original))
+    add("scheme.packets_out", packets_out)
+    add("scheme.extra_bytes", defended.extra_bytes)
+    add("scheme.handshake_bytes", defended.handshake_bytes)
+    add(f"scheme[{name}].apply_calls")
+    add(f"scheme[{name}].packets_out", packets_out)
+    add(f"scheme[{name}].extra_bytes", defended.extra_bytes)
+    add(f"scheme[{name}].handshake_bytes", defended.handshake_bytes)
+    observe("scheme.fanout", len(flows))
+    return defended
 
 
 class Scheme(abc.ABC):
@@ -86,11 +113,13 @@ class IdentityScheme(Scheme):
     name = "original"
 
     def apply(self, trace: Trace) -> DefendedTraffic:
-        return DefendedTraffic(
-            original=trace,
-            flows={0: trace},
-            stages=(StageOverhead(self.name, 0, 0, 1),),
-        )
+        with span(f"scheme.apply[{self.name}]"):
+            defended = DefendedTraffic(
+                original=trace,
+                flows={0: trace},
+                stages=(StageOverhead(self.name, 0, 0, 1),),
+            )
+        return _record_apply(self.name, defended)
 
 
 class ReshaperScheme(Scheme):
@@ -114,15 +143,17 @@ class ReshaperScheme(Scheme):
         self._engine.reshaper.reset()
 
     def apply(self, trace: Trace) -> DefendedTraffic:
-        result = self._engine.apply(trace)
-        handshake = self._engine.config_overhead_bytes
-        return DefendedTraffic(
-            original=trace,
-            flows=result.flows,
-            extra_bytes=0,
-            handshake_bytes=handshake,
-            stages=(StageOverhead(self.name, 0, handshake, len(result.flows)),),
-        )
+        with span(f"scheme.apply[{self.name}]"):
+            result = self._engine.apply(trace)
+            handshake = self._engine.config_overhead_bytes
+            defended = DefendedTraffic(
+                original=trace,
+                flows=result.flows,
+                extra_bytes=0,
+                handshake_bytes=handshake,
+                stages=(StageOverhead(self.name, 0, handshake, len(result.flows)),),
+            )
+        return _record_apply(self.name, defended)
 
 
 class DefenseScheme(Scheme):
@@ -138,16 +169,18 @@ class DefenseScheme(Scheme):
         return self._defense
 
     def apply(self, trace: Trace) -> DefendedTraffic:
-        result = self._defense.apply(trace)
-        return replace(
-            result,
-            stages=(
-                StageOverhead(
-                    self.name, result.extra_bytes, result.handshake_bytes,
-                    len(result.flows),
+        with span(f"scheme.apply[{self.name}]"):
+            result = self._defense.apply(trace)
+            defended = replace(
+                result,
+                stages=(
+                    StageOverhead(
+                        self.name, result.extra_bytes, result.handshake_bytes,
+                        len(result.flows),
+                    ),
                 ),
-            ),
-        )
+            )
+        return _record_apply(self.name, defended)
 
 
 class SchemeStack(Scheme):
@@ -178,19 +211,25 @@ class SchemeStack(Scheme):
     def apply(self, trace: Trace) -> DefendedTraffic:
         flows: list[Trace] = [trace]
         accounting: list[StageOverhead] = []
-        for stage in self._stages:
-            emitted: list[Trace] = []
-            extra = 0
-            handshake = 0
-            for flow in flows:
-                result = stage.apply(flow)
-                emitted.extend(result.observable_flows)
-                extra += result.extra_bytes
-                handshake += result.handshake_bytes
-            accounting.append(
-                StageOverhead(stage.name, extra, handshake, len(emitted))
-            )
-            flows = emitted
+        # Stage applies are leaves: they record their own counters and
+        # spans (nested under this one), so the stack adds only its
+        # fan-out observation — byte totals stay additive.
+        with span(f"scheme.apply[{self.name}]"):
+            for stage in self._stages:
+                emitted: list[Trace] = []
+                extra = 0
+                handshake = 0
+                for flow in flows:
+                    result = stage.apply(flow)
+                    emitted.extend(result.observable_flows)
+                    extra += result.extra_bytes
+                    handshake += result.handshake_bytes
+                accounting.append(
+                    StageOverhead(stage.name, extra, handshake, len(emitted))
+                )
+                flows = emitted
+        add("scheme.stacks_applied")
+        observe("scheme.stack_fanout", len(flows))
         return DefendedTraffic(
             original=trace,
             flows=dict(enumerate(flows)),

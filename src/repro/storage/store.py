@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.traffic.trace import Trace
 
 __all__ = [
@@ -387,6 +388,8 @@ class TraceStoreWriter:
             stream.write(text + "\n")
         os.replace(temporary, _manifest_path(self._path))
         self._closed = True
+        obs.add("store.traces_written", len(self._entries))
+        obs.add("store.packets_written", self._packets)
 
     def abort(self) -> None:
         """Close file handles without committing a manifest."""
@@ -494,6 +497,14 @@ class TraceStore:
             else:  # np.memmap refuses zero-length files
                 self._columns[name] = np.empty(0, dtype=dtype)
         self._traces: dict[int, Trace] = {}
+        # Opens are physical per-process work (each worker maps its own
+        # view), so the counter is proc.*; the gauges are idempotent
+        # high-water marks — every process that maps the same store
+        # reports the same values, and max-merge keeps them run-stable.
+        obs.add("proc.store.opens")
+        obs.gauge("store.bytes_mapped", self.nbytes)
+        obs.gauge("store.traces_stored", len(self._entries))
+        obs.gauge("store.packets_stored", self.packets)
 
     @classmethod
     def open(cls, path: str) -> "TraceStore":

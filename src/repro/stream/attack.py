@@ -29,6 +29,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.attack import AttackPipeline, AttackReport
 from repro.analysis.classifiers import Classifier, OnlineClassifier
 from repro.analysis.metrics import ConfusionMatrix
@@ -253,6 +254,7 @@ class OnlineAttack:
                 )
                 emitted.append(prediction)
             self.predictions.extend(emitted)
+            obs.add("online.predictions", len(emitted))
         if self._learn:
             self._update(x, closed)
         return emitted
@@ -271,6 +273,7 @@ class OnlineAttack:
         )
         self._classifier.partial_fit(x[rows], y, len(self._classes))
         self.windows_trained += len(rows)
+        obs.add("online.windows_trained", len(rows))
         self._ready = True
 
     # -- reporting ---------------------------------------------------------

@@ -26,9 +26,19 @@ make that hold exactly rather than approximately:
   path's whole-column ``astype`` does.
 
 Memory is O(open windows): per flow, only the current window's packets
-are buffered (``peak_open_packets`` tracks the high-water mark), so a
-multi-million-packet capture streams in bounded space — the property
-``benchmarks/bench_stream.py`` asserts.
+are buffered, so a multi-million-packet capture streams in bounded
+space — the property ``benchmarks/bench_stream.py`` asserts.
+
+Telemetry: the featurizer owns a
+:class:`~repro.obs.MetricsRegistry` (``metrics``) holding the
+``stream.*`` counters and the peak-buffering gauges, and mirrors every
+record into the process's active capture.  The hot path keeps plain
+``int`` accumulators (one attribute compare per packet) and syncs them
+into the registry at window boundaries; a peak in total buffered
+packets is always attained immediately before a close or at stream
+end, so after :meth:`flush` the gauges equal the true high-water marks
+exactly.  The memory-ceiling benchmarks assert against these gauges —
+the same numbers a ``--profile`` run reports.
 """
 
 from __future__ import annotations
@@ -37,8 +47,10 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.batch import _direction_block
 from repro.analysis.features import FEATURE_NAMES
+from repro.obs import MetricsRegistry
 from repro.traffic.stats import DEFAULT_IDLE_CUTOFF
 from repro.util.validation import require, require_positive
 
@@ -114,6 +126,11 @@ class StreamingFeaturizer:
         self.windows_emitted = 0
         self.peak_open_packets = 0
         self.peak_open_flows = 0
+        #: The featurizer's own telemetry — ``stream.*`` counters plus
+        #: the peak-buffering gauges the O(open windows) memory bound
+        #: is asserted from.  Synced at window boundaries; final after
+        #: :meth:`flush`.
+        self.metrics = MetricsRegistry()
 
     # -- accounting --------------------------------------------------------
 
@@ -126,6 +143,13 @@ class StreamingFeaturizer:
     def open_packets(self) -> int:
         """Packets currently buffered across all open windows."""
         return self._open_packets
+
+    def _sync_gauges(self) -> None:
+        """Publish the hot-path high-water marks as gauges (both sinks)."""
+        self.metrics.gauge_max("stream.peak_open_packets", self.peak_open_packets)
+        self.metrics.gauge_max("stream.peak_open_flows", self.peak_open_flows)
+        obs.gauge("stream.peak_open_packets", self.peak_open_packets)
+        obs.gauge("stream.peak_open_flows", self.peak_open_flows)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -150,6 +174,8 @@ class StreamingFeaturizer:
             state = _FlowState(float(time))
             self._flows[flow] = state
             self.peak_open_flows = max(self.peak_open_flows, len(self._flows))
+            self.metrics.count("stream.flows_opened")
+            obs.add("stream.flows_opened")
         else:
             if time < state.last_time:
                 raise ValueError(
@@ -206,6 +232,7 @@ class StreamingFeaturizer:
             emitted = self._close(key, state)
             if emitted is not None:
                 closed.append(emitted)
+        self._sync_gauges()
         return closed
 
     # -- internals ---------------------------------------------------------
@@ -234,9 +261,12 @@ class StreamingFeaturizer:
         if count == 0:
             return None
         left = state.start + state.index * self.window
+        self._sync_gauges()
         if count < self.min_packets:
             state.clear_window()
             self._open_packets -= count
+            self.metrics.count("stream.windows_dropped")
+            obs.add("stream.windows_dropped")
             return None
         edges = np.array([left, state.start + (state.index + 1) * self.window])
         matrix = np.empty((1, _N_FEATURES), dtype=np.float64)
@@ -260,4 +290,8 @@ class StreamingFeaturizer:
         state.clear_window()
         self._open_packets -= count
         self.windows_emitted += 1
+        self.metrics.count("stream.windows_closed")
+        self.metrics.count("stream.packets_windowed", count)
+        obs.add("stream.windows_closed")
+        obs.add("stream.packets_windowed", count)
         return emitted

@@ -31,6 +31,7 @@ import heapq
 from collections.abc import Iterable, Iterator, Sequence
 from typing import NamedTuple
 
+from repro import obs
 from repro.traffic.trace import Trace
 from repro.util.validation import require
 
@@ -99,6 +100,10 @@ class PacketStream:
         if label is None:
             label = trace.label
         offset = float(offset)
+        # Counted at stream construction (the trace length is known up
+        # front), not per event — replay stays a zero-overhead generator.
+        obs.add("stream.traces_replayed")
+        obs.add("stream.packets_replayed", len(trace))
 
         def generate() -> Iterator[PacketEvent]:
             times, sizes, directions = trace.times, trace.sizes, trace.directions

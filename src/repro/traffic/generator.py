@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.traffic.apps import ALL_APPS, AppModel, AppType, app_model
 from repro.traffic.packet import DOWNLINK, UPLINK, Direction
 from repro.traffic.trace import Trace, merge_traces
@@ -64,6 +65,8 @@ class TrafficGenerator:
         up = self._direction_trace(model, UPLINK, duration, factory, channel)
         trace = merge_traces([down, up], label=model.app.value)
         trace.meta = {"app": model.app.value, "session": session, "duration": duration}
+        obs.add("traffic.traces_generated")
+        obs.add("traffic.packets_generated", len(trace))
         return trace
 
     def generate_corpus(

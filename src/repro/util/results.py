@@ -79,6 +79,13 @@ class ExperimentResult:
         extras: optional non-tabular payload (per-app series, summary
             scalars); included in the JSON rendering, omitted from
             text/CSV.
+        meta: run metadata riding with the result but outside the
+            table contract.  The only key serialized today is
+            ``"profile"`` (the ``repro-profile`` v1 payload a
+            ``--profile`` run attaches); it appears in ``to_json``
+            only when present, so profile-less artifacts — including
+            the frozen golden snapshots — are byte-identical to before
+            the field existed.
     """
 
     experiment: str
@@ -87,6 +94,7 @@ class ExperimentResult:
     rows: tuple[tuple[object, ...], ...]
     params: Mapping[str, object] = field(default_factory=dict)
     extras: Mapping[str, object] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
 
     def to_text(self, float_digits: int = 2) -> str:
         """The aligned ASCII table (same layout as the legacy prints)."""
@@ -107,6 +115,8 @@ class ExperimentResult:
             "rows": json_safe(self.rows),
             "extras": json_safe(dict(self.extras)),
         }
+        if "profile" in self.meta:
+            payload["profile"] = json_safe(self.meta["profile"])
         return json.dumps(payload, indent=indent, allow_nan=False)
 
     def to_csv(self) -> str:

@@ -1,0 +1,26 @@
+"""R2 positive cases: measuring spans with direct clock reads.
+
+Instrumented code must not read the clock itself — that is exactly the
+nondeterminism R2 exists to keep off hot paths.  The sanctioned shape
+is ``timing_sink_good.py``: accept a ``TimingSink`` and let the caller
+decide whether time is measured at all.
+"""
+
+import time
+
+
+class EagerSpan:
+    """A span that stamps itself — wall-clock leaks into the record."""
+
+    def __init__(self, name):
+        self.name = name
+        self.started = time.perf_counter()  # expect[nondeterminism]
+
+    def close(self):
+        return time.perf_counter() - self.started  # expect[nondeterminism]
+
+
+def profile_run(fn):
+    start = time.monotonic()  # expect[nondeterminism]
+    fn()
+    return time.monotonic() - start  # expect[nondeterminism]

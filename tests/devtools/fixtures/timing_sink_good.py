@@ -1,0 +1,37 @@
+"""R2 negative cases: the sanctioned sink-injection timing pattern.
+
+Mirrors ``repro.obs.spans``: spans count deterministically always, and
+read time only through an injected sink whose clock call lives in the
+single exempted module (``repro/obs/timing.py``).  Nothing here touches
+a clock, so the deterministic capture path stays R2-clean by
+construction.
+"""
+
+
+class CountingSpan:
+    """Deterministic core: entry counts, no clock anywhere."""
+
+    def __init__(self, name, sink=None):
+        self.name = name
+        self.count = 0
+        self.seconds = None
+        self._sink = sink
+
+    def enter(self):
+        self.count += 1
+        # ``sink.now()`` resolves to no imported clock origin; the one
+        # perf_counter read lives behind the sink in repro/obs/timing.py.
+        return None if self._sink is None else self._sink.now()
+
+    def exit(self, started):
+        if started is not None:
+            elapsed = self._sink.now() - started
+            self.seconds = (self.seconds or 0.0) + elapsed
+
+
+def profile_run(fn, sink=None):
+    span = CountingSpan("run", sink)
+    started = span.enter()
+    fn()
+    span.exit(started)
+    return span

@@ -68,6 +68,14 @@ class TestPathScoping:
         assert lint_source(self.CLOCK, rel="repro/devtools/lint.py", rules=rules) == []
         assert lint_source(self.CLOCK, rel="repro/stream/engine.py", rules=rules)
 
+    def test_nondeterminism_sanctions_only_the_obs_timing_sink(self):
+        # repro/obs/timing.py is the telemetry layer's single clock
+        # source; every other obs module stays fully in scope.
+        rules = resolve_rules(["nondeterminism"])
+        assert lint_source(self.CLOCK, rel="repro/obs/timing.py", rules=rules) == []
+        assert lint_source(self.CLOCK, rel="repro/obs/counters.py", rules=rules)
+        assert lint_source(self.CLOCK, rel="repro/obs/spans.py", rules=rules)
+
     def test_trusted_allowed_only_in_invariant_preserving_modules(self):
         rules = resolve_rules(["trusted-constructor"])
         for allowed in (

@@ -221,6 +221,66 @@ class TestBench:
         assert "parallel (--jobs 2)" in out and "speedup" in out
 
 
+class TestProfile:
+    """`--profile` surfaces: run, bench, and corpus info telemetry."""
+
+    def test_run_profile_renders_counters_and_spans(self, capsys):
+        assert main(["run", "table1", *TINY_FLAGS, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: table1 (repro-profile v1" in out
+        assert "scheme.apply_calls" in out
+        assert "cell[app=browsing]" in out
+        assert "scenario.generate" in out
+
+    def test_run_profile_output_writes_v1_payload(self, capsys, tmp_path):
+        path = tmp_path / "table1.profile.json"
+        assert (
+            main(["run", "table1", *TINY_FLAGS,
+                  "--profile-output", str(path)])
+            == 0
+        )
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-profile"
+        assert payload["version"] == 1
+        assert payload["experiment"] == "table1"
+        assert payload["counters"]["executor.cells_run"] == 7
+        assert len(payload["cells"]) == 7
+        # --profile-output implies --profile, so the text render shows too.
+        assert "profile: table1" in capsys.readouterr().out
+
+    def test_run_format_json_embeds_profile_key(self, capsys):
+        assert main(["run", "table1", *TINY_FLAGS, "--profile",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["experiment"] == "table1"
+
+    def test_run_without_profile_has_no_profile_key(self, capsys):
+        assert main(["run", "table1", *TINY_FLAGS, "--format", "json"]) == 0
+        assert "profile" not in json.loads(capsys.readouterr().out)
+
+    def test_bench_profile_spans_carry_durations(self, capsys):
+        assert main(["bench", "table1", *TINY_FLAGS, "--jobs", "1",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: table1" in out
+        assert " ms]" in out  # wall-clock sink attached on the serial leg
+
+    def test_corpus_info_profile_shows_store_gauges(
+        self, capsys, tmp_path_factory
+    ):
+        path = str(tmp_path_factory.mktemp("cli-profile") / "tiny.store")
+        assert main(["corpus", "build", path, *TINY_FLAGS]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "info", path, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "store.bytes_mapped" in out
+        assert "proc.store.opens" in out
+        assert main(["corpus", "info", path, "--profile",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["gauges"]["store.traces_stored"] == 14
+
+
 class TestLint:
     """Exit-code contract: 0 clean, 1 findings, 2 engine error."""
 

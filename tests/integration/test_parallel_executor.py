@@ -2,12 +2,19 @@
 
 The acceptance bar for the orchestration subsystem: ``--jobs N``
 reproduces the serial path's numbers exactly (same seed ⇒ same report),
-and per-cell seeds don't depend on the process start method.
+and per-cell seeds don't depend on the process start method.  With
+profiling on, the same bar extends to telemetry: the deterministic
+projection of the captured profile (counters, histograms, span
+structure — everything outside the ``process`` block) is bit-identical
+between serial and parallel execution too.
 """
+
+import json
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.experiments import parallel, registry
 from repro.experiments.registry import ScenarioParams
 from repro.experiments.tables23 import classification_accuracy_table
@@ -64,7 +71,8 @@ class TestJobsEquivalence:
 
 class TestEveryExperimentEquivalent:
     """The acceptance bar, verbatim: every registered deterministic
-    experiment's rendered report is identical at jobs=1 and jobs=2."""
+    experiment's rendered report — and its captured profile's
+    deterministic projection — is identical at jobs=1 and jobs=2."""
 
     #: Shrink the expensive knobs so the full catalog runs in seconds.
     QUICK_OPTIONS = {
@@ -85,13 +93,24 @@ class TestEveryExperimentEquivalent:
         [spec.name for spec in registry.all_specs() if spec.deterministic],
     )
     def test_rendered_report_identical_at_any_job_count(self, name):
-        import json
-
         options = self.QUICK_OPTIONS.get(name)
-        serial = parallel.run_experiment_result(name, TINY, options=options)
+        serial = parallel.run_experiment_result(
+            name, TINY, options=options, profile=True
+        )
         parallel.clear_worker_state()
-        fanned = parallel.run_experiment_result(name, TINY, options=options, jobs=2)
-        assert json.loads(fanned.to_json()) == json.loads(serial.to_json())
+        fanned = parallel.run_experiment_result(
+            name, TINY, options=options, jobs=2, profile=True
+        )
+        serial_json = json.loads(serial.to_json())
+        fanned_json = json.loads(fanned.to_json())
+        serial_profile = serial_json.pop("profile")
+        fanned_profile = fanned_json.pop("profile")
+        # The report itself is unchanged by profiling and by fan-out...
+        assert fanned_json == serial_json
+        # ...and every deterministic counter/histogram/span is
+        # bit-identical between serial and --jobs 2 (only the proc.*
+        # block and per-cell gauges may differ with process topology).
+        assert obs.profiles_equal_deterministic(fanned_profile, serial_profile)
 
 
 class TestStartMethodStability:
@@ -119,3 +138,36 @@ class TestStartMethodStability:
         for app in serial:
             for ours, reference in zip(fanned[app], serial[app]):
                 np.testing.assert_array_equal(ours, reference)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_profile_counters_identical_across_start_methods(self, start_method):
+        serial = parallel.run_experiment_result("table1", TINY, profile=True)
+        parallel.clear_worker_state()
+        fanned = parallel.run_experiment_result(
+            "table1", TINY, jobs=2, start_method=start_method, profile=True
+        )
+        assert obs.profiles_equal_deterministic(
+            fanned.meta["profile"], serial.meta["profile"]
+        )
+
+
+class TestProfileOptIn:
+    """Profiling is strictly opt-in: the default output is untouched."""
+
+    def test_profile_key_absent_without_flag(self):
+        plain = parallel.run_experiment_result("table1", TINY)
+        assert dict(plain.meta) == {}
+        assert "profile" not in json.loads(plain.to_json())
+
+    def test_profiling_changes_nothing_but_adds_the_payload(self):
+        plain = parallel.run_experiment_result("table1", TINY)
+        parallel.clear_worker_state()
+        profiled = parallel.run_experiment_result("table1", TINY, profile=True)
+        payload = json.loads(profiled.to_json())
+        profile = payload.pop("profile")
+        assert payload == json.loads(plain.to_json())
+        assert profile["format"] == "repro-profile"
+        assert profile["version"] == 1
+        # One capture per cell, folded additively at run level.
+        assert profile["counters"]["executor.cells_run"] == len(profile["cells"])
+        assert profile["counters"]["scheme.apply_calls"] >= len(profile["cells"])

@@ -1,0 +1,149 @@
+"""Unit tests for the deterministic metrics registry and its routing."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    active_metrics,
+    add,
+    bucket_label,
+    collecting,
+    gauge,
+    is_unattributed,
+    observe,
+    unattributed,
+)
+from repro.obs.counters import replay_metrics
+
+
+class TestBucketLabel:
+    @pytest.mark.parametrize(
+        ("value", "label"),
+        [
+            (-3, "0"),
+            (0, "0"),
+            (1, "1"),
+            (2, "2-3"),
+            (3, "2-3"),
+            (4, "4-7"),
+            (7, "4-7"),
+            (8, "8-15"),
+            (1024, "1024-2047"),
+        ],
+    )
+    def test_power_of_two_buckets(self, value, label):
+        assert bucket_label(value) == label
+
+
+class TestMetricsRegistry:
+    def test_count_gauge_observe(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.count("a", 4)
+        registry.gauge_max("g", 10.0)
+        registry.gauge_max("g", 3.0)  # lower: ignored
+        registry.observe("h", 5)
+        registry.observe("h", 6)
+        registry.observe("h", 1)
+        assert registry.counters == {"a": 5}
+        assert registry.gauges == {"g": 10.0}
+        assert registry.histograms == {"h": {"4-7": 2, "1": 1}}
+
+    def test_merge_sums_counters_maxes_gauges_sums_buckets(self):
+        left = MetricsRegistry({"a": 1}, {"g": 2.0}, {"h": {"1": 1}})
+        right = MetricsRegistry({"a": 2, "b": 7}, {"g": 5.0}, {"h": {"1": 3}})
+        merged = left.merge(right)
+        assert merged.counters == {"a": 3, "b": 7}
+        assert merged.gauges == {"g": 5.0}
+        assert merged.histograms == {"h": {"1": 4}}
+        # merge() leaves its inputs untouched
+        assert left.counters == {"a": 1}
+
+    def test_merged_folds_iterables(self):
+        parts = [MetricsRegistry({"a": i}) for i in (1, 2, 3)]
+        assert MetricsRegistry.merged(parts).counters == {"a": 6}
+        assert MetricsRegistry.merged([]).counters == {}
+
+    def test_as_dict_round_trips_and_sorts(self):
+        registry = MetricsRegistry()
+        registry.count("z")
+        registry.count("a")
+        registry.observe("h", 8)
+        registry.observe("h", 2)
+        view = registry.as_dict()
+        assert list(view["counters"]) == ["a", "z"]
+        # Buckets sort numerically by their lower edge, not as strings.
+        assert list(view["histograms"]["h"]) == ["2-3", "8-15"]
+        assert MetricsRegistry.from_dict(view) == registry
+
+    def test_picklable_under_any_protocol(self):
+        registry = MetricsRegistry({"a": 1}, {"g": 2.0}, {"h": {"1": 1}})
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(registry, protocol))
+            assert clone == registry
+
+
+class TestCollectionRouting:
+    def test_helpers_no_op_without_active_registry(self):
+        assert active_metrics() is None
+        add("a")  # must not raise
+        gauge("g", 1.0)
+        observe("h", 2)
+
+    def test_collecting_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            assert active_metrics() is registry
+            add("a", 2)
+            gauge("g", 4.0)
+            observe("h", 3)
+        assert active_metrics() is None
+        assert registry.counters == {"a": 2}
+        assert registry.gauges == {"g": 4.0}
+        assert registry.histograms == {"h": {"2-3": 1}}
+
+    def test_collecting_nests_by_save_restore(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with collecting(outer):
+            add("a")
+            with collecting(inner):
+                add("a")
+            add("a")
+        assert outer.counters == {"a": 2}
+        assert inner.counters == {"a": 1}
+
+    def test_unattributed_routes_counters_to_proc_namespace(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            assert not is_unattributed()
+            with unattributed():
+                assert is_unattributed()
+                add("build.work", 3)
+                observe("build.sizes", 4)
+                gauge("build.peak", 9.0)  # gauges are never rerouted
+            add("cell.work")
+        assert registry.counters == {"proc.build.work": 3, "cell.work": 1}
+        assert registry.histograms == {"proc.build.sizes": {"4-7": 1}}
+        assert registry.gauges == {"build.peak": 9.0}
+
+    def test_unattributed_nests_and_does_not_double_prefix(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            with unattributed(), unattributed():
+                add("proc.already", 1)
+                add("plain", 1)
+            assert not is_unattributed()
+        assert registry.counters == {"proc.already": 1, "proc.plain": 1}
+
+    def test_replay_metrics_honors_routing(self):
+        captured = MetricsRegistry({"work": 2}, {"peak": 5.0}, {"sizes": {"1": 1}})
+        registry = MetricsRegistry()
+        with collecting(registry):
+            replay_metrics(captured)
+            with unattributed():
+                replay_metrics(captured)
+        assert registry.counters == {"work": 2, "proc.work": 2}
+        assert registry.gauges == {"peak": 5.0}
+        assert registry.histograms == {"sizes": {"1": 1}, "proc.sizes": {"1": 1}}

@@ -1,0 +1,138 @@
+"""Unit tests for hierarchical span recording."""
+
+import pickle
+
+from repro.obs import SpanNode, SpanRecorder, TimingSink, recording, span, unattributed
+from repro.obs.spans import active_recorder, attach
+
+
+class FakeSink(TimingSink):
+    """A deterministic 'clock' for testing the timing path."""
+
+    def __init__(self, step: float = 1.0):
+        self.ticks = 0.0
+        self.step = step
+
+    def now(self) -> float:
+        self.ticks += self.step
+        return self.ticks
+
+
+class TestSpanNode:
+    def test_child_is_insertion_ordered_get_or_create(self):
+        root = SpanNode("run")
+        b = root.child("b")
+        a = root.child("a")
+        assert root.child("b") is b
+        assert list(root.children) == ["b", "a"]
+        assert a.count == 0
+
+    def test_merge_in_sums_counts_and_recurses(self):
+        left, right = SpanNode("x"), SpanNode("x")
+        left.count = 2
+        left.child("inner").count = 1
+        right.count = 3
+        right.child("inner").count = 4
+        right.child("other").count = 1
+        left.merge_in(right)
+        assert left.count == 5
+        assert left.children["inner"].count == 5
+        assert left.children["other"].count == 1
+
+    def test_seconds_merge_only_when_measured(self):
+        left, right = SpanNode("x"), SpanNode("x")
+        left.merge_in(right)
+        assert left.seconds is None  # None + None stays None
+        right.add_seconds(0.5)
+        left.merge_in(right)
+        assert left.seconds == 0.5
+
+    def test_as_dict_omits_seconds_when_untimed(self):
+        node = SpanNode("x")
+        node.count = 1
+        assert "seconds" not in node.as_dict()
+        node.add_seconds(0.25)
+        assert node.as_dict()["seconds"] == 0.25
+
+    def test_nodes_pickle(self):
+        node = SpanNode("x")
+        node.count = 2
+        node.child("y").count = 1
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone.as_dict() == node.as_dict()
+
+
+class TestSpanRecorder:
+    def test_nesting_builds_the_tree(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+            with recorder.span("inner"):
+                pass
+        with recorder.span("outer"):
+            pass
+        outer = recorder.root.children["outer"]
+        assert outer.count == 2
+        assert outer.children["inner"].count == 2
+        assert outer.seconds is None
+
+    def test_sink_measures_durations(self):
+        recorder = SpanRecorder(FakeSink())
+        with recorder.span("timed"):
+            pass
+        node = recorder.root.children["timed"]
+        assert node.seconds == 1.0  # one tick between enter and exit
+
+    def test_current_tracks_the_stack(self):
+        recorder = SpanRecorder()
+        assert recorder.current is recorder.root
+        with recorder.span("a") as node:
+            assert recorder.current is node
+        assert recorder.current is recorder.root
+
+
+class TestModuleHelpers:
+    def test_span_no_ops_without_recorder(self):
+        assert active_recorder() is None
+        with span("orphan") as node:
+            assert node is None
+
+    def test_recording_installs_and_restores(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            assert active_recorder() is recorder
+            with span("a"):
+                with span("b"):
+                    pass
+        assert active_recorder() is None
+        assert recorder.root.children["a"].children["b"].count == 1
+
+    def test_span_paused_inside_unattributed(self):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with unattributed():
+                with span("hidden") as node:
+                    assert node is None
+        assert recorder.root.children == {}
+
+    def test_attach_replays_a_subtree_under_the_open_span(self):
+        captured = SpanNode("run")
+        captured.child("scheme.apply[or]").count = 3
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with span("cell"):
+                attach(captured)
+                attach(captured)
+        cell = recorder.root.children["cell"]
+        assert cell.children["scheme.apply[or]"].count == 6
+
+    def test_attach_no_ops_when_off_or_paused(self):
+        captured = SpanNode("run")
+        captured.child("x").count = 1
+        attach(captured)  # no recorder: no-op
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with unattributed():
+                attach(captured)
+        assert recorder.root.children == {}
