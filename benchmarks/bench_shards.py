@@ -1,0 +1,143 @@
+"""STORAGE: shard-set federation lifecycle — out-of-core by the gauges.
+
+The federation's promise is that corpus scale decouples from a single
+process's working set: building streams one trace at a time into hashed
+member stores, opening reads O(manifests), and a shard-by-shard sweep
+maps **one member's columns at a time**.  This bench drives a
+multi-station corpus through build → open → sweep and asserts the
+promise from telemetry, not from wall-clock:
+
+* ``ShardSet.open`` maps nothing (``proc.shard.opens`` stays 0 until a
+  trace is touched);
+* a walk-and-release sweep over every shard keeps
+  ``shards.bytes_mapped_peak`` — the *concurrently*-mapped member
+  bytes — at exactly ``max(member nbytes)``, strictly below the corpus
+  total: O(1 shard), not O(corpus);
+* every station's trace comes back bit-identical to the generated
+  original, so the bound is not bought with data loss.
+
+Results persist to ``results/shards.{txt,json}`` and the captured
+telemetry to ``results/shards.profile.json``.
+"""
+
+import time
+
+from repro import obs
+from repro.storage import ShardSet, ShardSetWriter, shard_for_key
+from repro.storage import shards as shards_module
+from repro.traffic.apps import ALL_APPS
+from repro.traffic.generator import TrafficGenerator
+
+SHARDS = 4
+STATIONS = 16
+DURATION = 300.0
+
+
+def test_shardset_sweep_is_out_of_core(save_table, save_profile, tmp_path_factory):
+    # The mapped-bytes tracker is process-global; start this bench's
+    # accounting from zero in case an earlier test left members open.
+    shards_module._TRACKER.current = 0
+
+    root = tmp_path_factory.mktemp("bench-shards")
+    path = str(root / "corpus.shards")
+    rows = []
+
+    def stage(name, packets, seconds, size_bytes=None):
+        rows.append(
+            [
+                name,
+                packets,
+                seconds,
+                packets / seconds if seconds > 0 else float("inf"),
+                (size_bytes / 1e6) if size_bytes is not None else float("nan"),
+            ]
+        )
+
+    # -- generate one trace per station (stable per-station seeds) ---------
+    start = time.perf_counter()
+    traces = {}
+    for index in range(STATIONS):
+        station = f"sta{index:04d}"
+        generator = TrafficGenerator(seed=7_000 + index)
+        traces[station] = generator.generate(
+            ALL_APPS[index % len(ALL_APPS)], DURATION
+        )
+    packets = sum(len(t) for t in traces.values())
+    stage("generate traffic", packets, time.perf_counter() - start)
+    assert packets > 200_000, f"corpus too small to be representative: {packets}"
+
+    # -- build: hash-routed, streaming, one trace resident at a time ------
+    start = time.perf_counter()
+    with ShardSetWriter(path, shards=SHARDS) as writer:
+        for station, trace in traces.items():
+            shard, _ = writer.add(trace, role="eval", station=station)
+            assert shard == shard_for_key(station, SHARDS)
+    federation = ShardSet.open(path)
+    stage("federation build", packets, time.perf_counter() - start, federation.nbytes)
+    member_nbytes = [federation.shard_nbytes(i) for i in range(SHARDS)]
+    assert sum(member_nbytes) == federation.nbytes
+    # The hash spread the stations over more than one member, so the
+    # O(1 shard) bound below is a real bound, not the whole corpus.
+    assert max(member_nbytes) < federation.nbytes
+    federation.close()
+
+    # -- open is O(manifests); the sweep maps one member at a time --------
+    start = time.perf_counter()
+    with obs.capture(obs.PerfCounterSink()) as capture:
+        with obs.span("shards.sweep"):
+            federation = ShardSet.open(path)
+            opens_before_access = capture.metrics.counters.get(
+                "proc.shard.opens", 0
+            )
+            swept = 0
+            for shard in range(SHARDS):
+                store = federation.shard(shard)
+                for entry in store.entries():
+                    loaded = store.trace(entry.index)
+                    original = traces[entry.station]
+                    assert (
+                        loaded.times.tobytes() == original.times.tobytes()
+                        and loaded.sizes.tobytes() == original.sizes.tobytes()
+                    )
+                    swept += 1
+                # Release between shards: this is what keeps the peak at
+                # one member's size.
+                federation.release()
+            federation.close()
+    stage("sweep (walk+release)", packets, time.perf_counter() - start)
+    save_profile(
+        "shards", obs.profile_to_json(capture.run_profile("bench_shards"))
+    )
+
+    assert opens_before_access == 0, "ShardSet.open must map no column bytes"
+    assert swept == STATIONS
+    assert capture.metrics.counters["proc.shard.opens"] == SHARDS
+
+    # The contract, from the gauges: peak concurrently-mapped member
+    # bytes equals the largest single member — O(1 shard), strictly
+    # below the corpus total.
+    peak = capture.metrics.gauges["shards.bytes_mapped_peak"]
+    assert peak == max(member_nbytes)
+    assert peak < federation.nbytes
+    rows.append(
+        [
+            "peak mapped (1 shard)",
+            federation.packets,
+            float("nan"),
+            float("nan"),
+            peak / 1e6,
+        ]
+    )
+
+    save_table(
+        "shards",
+        ["stage", "packets", "wall s", "packets/s", "MB"],
+        rows,
+        title=(
+            f"Shard-set federation lifecycle: {STATIONS} stations, "
+            f"{SHARDS} shards, {packets / 1e6:.1f}M packets "
+            f"(sweep peak-mapped = largest member, "
+            f"{peak / 1e6:.1f} of {federation.nbytes / 1e6:.1f} MB)"
+        ),
+        float_digits=2,
+    )

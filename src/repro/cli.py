@@ -21,7 +21,9 @@ Commands:
   and execute any registered experiment against it (``repro run <exp>
   --corpus PATH`` is equivalent); workers open the store read-only and
   replay it zero-copy instead of regenerating traffic.  ``build
-  --scheme padding+or`` records the defense recipe in the manifest.
+  --scheme padding+or`` records the defense recipe in the manifest;
+  ``build --shards N`` writes a sharded federation of N member stores
+  (``info``/``run`` accept either format transparently).
 * ``repro schemes list`` — the defense-scheme catalog: every scheme a
   ``--scheme`` composition can name, with parameter defaults.
 * ``repro run combined_grid --scheme padding+or --scheme-set
@@ -281,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
     build_parser_.add_argument(
         "--overwrite", action="store_true",
         help="replace an existing store at PATH",
+    )
+    build_parser_.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="write a sharded federation of N member stores instead of "
+        "a single store (traces route by stable station hash; see "
+        "docs/trace-format.md); readers accept either format "
+        "transparently",
     )
     build_parser_.add_argument(
         "--scheme", dest="scheme", default=None, metavar="NAME[+NAME...]",
@@ -682,12 +691,16 @@ def _corpus_summary_rows(store) -> list[list[object]]:
 def _print_corpus_summary(store, fmt: str = "text", profile=None) -> None:
     recipe = store.scenario or {}
     specs = store.scheme_specs()
+    # A ShardSet federation exposes the same read API plus shard_count;
+    # single stores have no shard notion.
+    shards = getattr(store, "shard_count", None)
     if fmt == "json":
         payload = {
             "path": store.path,
             "packets": store.packets,
             "traces": len(store),
             "bytes": store.nbytes,
+            "shards": shards,
             "scenario": recipe,
             "schemes": specs_to_json(specs) if specs else None,
             "splits": [
@@ -701,13 +714,14 @@ def _print_corpus_summary(store, fmt: str = "text", profile=None) -> None:
         return
     scale = ", ".join(f"{key}={value}" for key, value in recipe.items()) or "none"
     scheme_note = f"; scheme: {stack_label(specs)}" if specs else ""
+    shard_note = f", {shards} shards" if shards is not None else ""
     print(
         format_table(
             ["role", "label", "traces", "packets"],
             _corpus_summary_rows(store),
             title=f"Corpus {store.path} — {len(store)} traces, "
-            f"{store.packets} packets, {store.nbytes / 1e6:.1f} MB "
-            f"(scenario: {scale}{scheme_note})",
+            f"{store.packets} packets, {store.nbytes / 1e6:.1f} MB"
+            f"{shard_note} (scenario: {scale}{scheme_note})",
         )
     )
     if profile is not None:
@@ -781,10 +795,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    from repro.storage import StoreFormatError, TraceStore
+    from repro.storage import StoreFormatError, open_corpus
 
     if args.corpus_command == "build":
         params = _scenario_params(args)
+        shards = getattr(args, "shards", None)
+        if shards is not None and shards < 1:
+            raise _UsageError(f"--shards must be >= 1, got {shards}")
         specs = None
         if getattr(args, "scheme", None):
             try:
@@ -798,7 +815,8 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
         try:
             store = shared_scenario(params).save_corpus(
-                args.path, overwrite=args.overwrite, schemes=specs
+                args.path, overwrite=args.overwrite, schemes=specs,
+                shards=shards,
             )
         except FileExistsError as error:
             raise _UsageError(str(error)) from error
@@ -811,10 +829,10 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 # The open itself is what the profile describes: manifest
                 # parse counters plus the bytes/traces/packets gauges.
                 with obs.capture() as cap:
-                    store = TraceStore.open(args.path)
+                    store = open_corpus(args.path)
                 payload = obs.profile_to_json(cap.run_profile("corpus-info"))
             else:
-                store = TraceStore.open(args.path)
+                store = open_corpus(args.path)
         except (OSError, StoreFormatError) as error:
             raise _UsageError(str(error)) from error
         _print_corpus_summary(store, fmt=args.format, profile=payload)

@@ -38,6 +38,10 @@ from repro.experiments.discussion import (
     tpc_linking_experiment,
 )
 from repro.experiments.combined_grid import CombinedGridResult, combined_grid
+from repro.experiments.population_scale import (
+    PopulationScaleResult,
+    population_scale,
+)
 from repro.experiments.window_sweep import WindowSweepResult, window_sweep
 from repro.experiments.streaming import (
     ArmsRaceResult,
@@ -56,6 +60,7 @@ __all__ = [
     "ExperimentCell",
     "ExperimentRunner",
     "ExperimentSpec",
+    "PopulationScaleResult",
     "ScenarioParams",
     "StreamReplayResult",
     "WindowSweepResult",
@@ -70,6 +75,7 @@ __all__ = [
     "figure4_series",
     "figure5_series",
     "get_experiment",
+    "population_scale",
     "reshaping_scalability",
     "run_experiment",
     "run_experiment_result",

@@ -44,8 +44,10 @@ __all__ = [
     "default_jobs",
     "run_experiment",
     "run_experiment_result",
+    "shard_grid_cells",
     "shared_runner",
     "shared_scenario",
+    "shared_shard",
     "worker_cached",
 ]
 
@@ -93,9 +95,79 @@ def shared_runner(params: ScenarioParams) -> ExperimentRunner:
     )
 
 
+def shared_shard(corpus: str, shard: int):
+    """The process-local member store ``shard`` of a federation.
+
+    Opens the federation's manifests (cheap) to resolve the member
+    directory, then memory-maps **only that shard's** columns — the
+    seam that keeps a shard-decomposed cell's working set at one
+    shard's size no matter how many shards the corpus holds.  The
+    member :class:`~repro.storage.TraceStore` is memoized per process,
+    so every cell a worker executes against the same shard shares one
+    mapping.
+    """
+    from repro.storage import ShardSet
+
+    def build():
+        federation = ShardSet.open(str(corpus))
+        return federation.shard(int(shard))
+
+    return worker_cached(("shard", str(corpus), int(shard)), build)
+
+
 def clear_worker_state() -> None:
     """Drop every process-local cache (for benchmarking cold runs)."""
     _WORKER_STATE.clear()
+
+
+# ----------------------------------------------------------------------
+# Shard-parallel cell decomposition
+# ----------------------------------------------------------------------
+
+
+def shard_grid_cells(
+    experiment: str,
+    params: ScenarioParams,
+    grid: "list[tuple[str, Mapping[str, object]]]",
+    shards: int,
+) -> tuple:
+    """One cell per (grid point × shard), grid-major / shard-minor.
+
+    The federation analogue of a plain grid decomposition: every grid
+    point (a scheme, a window, a population size, ...) fans out into
+    ``shards`` independent cells named ``{point}/shard={s}``, each
+    carrying its shard index so the cell function touches only that
+    shard's slice of the corpus (via :func:`shared_shard`, or by
+    filtering generated stations through
+    :func:`repro.storage.shard_for_key`).  Cell results must be
+    additive — confusion counts, byte totals, flow counts — so
+    ``combine`` can roll shards back up into per-point rows; ``obs``
+    profiles roll up the same way through the executor's existing
+    merge.  Cell order is deterministic, so serial and ``--jobs N``
+    execution stay bit-identical.
+    """
+    from repro.experiments.registry import make_cell
+
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    cells = []
+    for point_name, point_params in grid:
+        for shard in range(shards):
+            cells.append(
+                make_cell(
+                    experiment,
+                    f"{point_name}/shard={shard}",
+                    {
+                        **dict(point_params),
+                        "scenario": params,
+                        "shard": shard,
+                        "shards": shards,
+                    },
+                    params.seed,
+                )
+            )
+    return tuple(cells)
 
 
 # ----------------------------------------------------------------------

@@ -104,14 +104,19 @@ class ScenarioParams:
 
     @classmethod
     def for_corpus(cls, path: str) -> "ScenarioParams":
-        """The params recorded in the corpus manifest at ``path``."""
-        from repro.storage import load_manifest
+        """The params recorded in the corpus manifest at ``path``.
 
-        manifest = load_manifest(str(path))
+        Accepts either corpus format — a single store or a shard-set
+        federation — since both manifests carry the same ``scenario`` /
+        ``schemes`` provenance keys.
+        """
+        from repro.storage import corpus_manifest
+
+        manifest = corpus_manifest(str(path))
         recipe = manifest.get("scenario")
         if recipe is None:
             raise ValueError(
-                f"store at {path!r} carries no scenario recipe; build it "
+                f"corpus at {path!r} carries no scenario recipe; build it "
                 "with `repro corpus build` (or EvaluationScenario.save_corpus)"
             )
         stored = manifest.get("schemes")

@@ -115,6 +115,7 @@ class EvaluationScenario:
         meta: dict | None = None,
         overwrite: bool = False,
         schemes=None,
+        shards: int | None = None,
     ):
         """Persist both splits to a :class:`~repro.storage.TraceStore`.
 
@@ -126,40 +127,70 @@ class EvaluationScenario:
         sequence of :class:`~repro.schemes.SchemeSpec`) to the manifest
         as provenance; the stored traces stay undefended — the recipe
         is what :meth:`~repro.storage.TraceStore.scheme_specs`
-        rehydrates.  Returns the reopened, read-only store.
+        rehydrates.
+
+        ``shards=N`` writes a sharded federation
+        (:class:`~repro.storage.ShardSet`) instead of a single store,
+        routing every trace by its **application label** — the app is a
+        scenario corpus's station analogue, so all of an app's sessions
+        land in one shard and each shard's internal order (train split
+        first, sessions ascending) matches the single-store layout.
+        Hydration from either format is bit-identical.
+
+        Returns the reopened, read-only corpus (store or shard set).
         """
         from repro.schemes.spec import specs_to_json
-        from repro.storage import TraceStore
+        from repro.storage import ShardSetWriter, TraceStore, open_corpus
 
-        with TraceStore.create(
-            path,
-            scenario=self.corpus_recipe(),
-            meta=meta,
-            schemes=specs_to_json(schemes) if schemes is not None else None,
-            overwrite=overwrite,
-        ) as writer:
+        recipe_schemes = specs_to_json(schemes) if schemes is not None else None
+        if shards is None:
+            writer_cm = TraceStore.create(
+                path,
+                scenario=self.corpus_recipe(),
+                meta=meta,
+                schemes=recipe_schemes,
+                overwrite=overwrite,
+            )
+        else:
+            writer_cm = ShardSetWriter(
+                path,
+                shards=shards,
+                scenario=self.corpus_recipe(),
+                meta=meta,
+                schemes=recipe_schemes,
+                overwrite=overwrite,
+            )
+        with writer_cm as writer:
             for app, traces in self.training_by_app().items():
                 for trace in traces:
-                    writer.add(trace, role="train")
+                    if shards is None:
+                        writer.add(trace, role="train")
+                    else:
+                        writer.add(trace, role="train", key=app.value)
             for app, traces in self.evaluation_by_app().items():
                 for trace in traces:
-                    writer.add(trace, role="eval")
-        return TraceStore.open(path)
+                    if shards is None:
+                        writer.add(trace, role="eval")
+                    else:
+                        writer.add(trace, role="eval", key=app.value)
+        return open_corpus(path)
 
     @classmethod
     def from_store(cls, store) -> "EvaluationScenario":
         """Hydrate a scenario from a persisted corpus (zero-copy).
 
-        Accepts a :class:`~repro.storage.TraceStore` or a path to one.
-        The store must have been written by :meth:`save_corpus` (its
+        Accepts a :class:`~repro.storage.TraceStore`, a
+        :class:`~repro.storage.ShardSet` federation, or a path to
+        either (dispatch via :func:`repro.storage.open_corpus`).  The
+        corpus must have been written by :meth:`save_corpus` (its
         manifest carries the scenario recipe); traces come back as
         memory-mapped views, so hydration costs O(manifest) regardless
         of corpus size.
         """
-        from repro.storage import TraceStore
+        from repro.storage import ShardSet, TraceStore, open_corpus
 
-        if not isinstance(store, TraceStore):
-            store = TraceStore.open(store)
+        if not isinstance(store, (TraceStore, ShardSet)):
+            store = open_corpus(store)
         recipe = store.scenario
         if recipe is None:
             raise ValueError(

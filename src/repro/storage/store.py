@@ -58,6 +58,7 @@ __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "SHARDSET_MANIFEST_NAME",
     "StoreFormatError",
     "TraceEntry",
     "TraceStore",
@@ -74,6 +75,11 @@ FORMAT_NAME = "repro-tracestore"
 FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Federation manifest filename (see :mod:`repro.storage.shards`).
+#: Declared here so the writer can refuse to bury a shard set under a
+#: single-store manifest without importing the shards module.
+SHARDSET_MANIFEST_NAME = "shardset.json"
 
 #: Column name -> on-disk dtype (explicitly little-endian; these match
 #: the in-memory dtypes of :class:`~repro.traffic.trace.Trace`).
@@ -202,6 +208,15 @@ class TraceStoreWriter:
         overwrite: bool = False,
     ):
         path = str(path)
+        if os.path.exists(os.path.join(path, SHARDSET_MANIFEST_NAME)):
+            # Even with overwrite=True: a single store written into a
+            # federation directory would leave the shard-set manifest
+            # pointing at clobbered members.
+            raise FileExistsError(
+                f"{path!r} already holds a shard-set federation; a single "
+                "trace store cannot replace it in place — remove it or "
+                "pick another path"
+            )
         if os.path.exists(_manifest_path(path)):
             if not overwrite:
                 raise FileExistsError(
@@ -354,11 +369,19 @@ class TraceStoreWriter:
         return self._packets
 
     def close(self) -> None:
-        """Flush columns and commit the manifest (atomically)."""
+        """Flush columns and commit the manifest (atomically).
+
+        Refuses while a trace is still open: silently sealing it would
+        commit a possibly half-written trace as valid.  Call
+        :meth:`end_trace` (or :meth:`abort` to discard the build).
+        """
         if self._closed:
             return
         if self._pending is not None:
-            self.end_trace()
+            raise RuntimeError(
+                "a trace is still open; call end_trace() to seal it or "
+                "abort() to discard the build"
+            )
         for handle in self._files.values():
             handle.close()
         manifest = {
@@ -463,7 +486,12 @@ class TraceStore:
                 station=record.get("station"),
                 meta=record.get("meta") or {},
             )
-            if entry.offset != expected_offset or entry.count < 0:
+            if entry.count < 0:
+                raise StoreFormatError(
+                    f"{path!r}: trace {index} declares a negative packet "
+                    f"count ({entry.count})"
+                )
+            if entry.offset != expected_offset:
                 raise StoreFormatError(
                     f"{path!r}: trace {index} claims offset {entry.offset}, "
                     f"expected {expected_offset} (entries must tile the "
@@ -604,9 +632,15 @@ class TraceStore:
             yield entry
 
     def traces_by_label(self, role: str | None = None) -> dict[str, list[Trace]]:
-        """Label -> traces mapping (insertion order = store order)."""
+        """Label -> traces mapping (insertion order = store order).
+
+        Unlabeled entries are skipped, consistent with :meth:`labels` —
+        they have no classifier ground truth to group under.
+        """
         grouped: dict[str, list[Trace]] = {}
         for entry in self.select(role=role):
+            if entry.label is None:
+                continue
             grouped.setdefault(entry.label, []).append(self.trace(entry.index))
         return grouped
 
@@ -674,14 +708,19 @@ def write_traces(
     traces: Iterable[Trace | tuple[Trace, Mapping[str, object]]],
     scenario: Mapping[str, object] | None = None,
     meta: Mapping[str, object] | None = None,
+    schemes: Sequence[Mapping[str, object]] | None = None,
     overwrite: bool = False,
 ) -> TraceStore:
     """Persist ``traces`` to a new store and reopen it read-only.
 
     Items may be bare traces or ``(trace, extra)`` pairs where ``extra``
-    provides the entry's ``role`` and/or ``station``.
+    provides the entry's ``role`` and/or ``station``.  ``schemes``
+    attaches a defense-scheme recipe to the manifest, exactly as
+    :class:`TraceStoreWriter` records it.
     """
-    with TraceStoreWriter(path, scenario=scenario, meta=meta, overwrite=overwrite) as writer:
+    with TraceStoreWriter(
+        path, scenario=scenario, meta=meta, schemes=schemes, overwrite=overwrite
+    ) as writer:
         for item in traces:
             if isinstance(item, tuple):
                 trace, extra = item

@@ -127,7 +127,9 @@ class PacketStream:
     ) -> "PacketStream":
         """Replay a persisted corpus straight off its memory-mapped columns.
 
-        Accepts a :class:`~repro.storage.TraceStore` or a path to one.
+        Accepts a :class:`~repro.storage.TraceStore`, a
+        :class:`~repro.storage.ShardSet` federation, or a path to
+        either (dispatch via :func:`repro.storage.open_corpus`).
         Every matching stored trace becomes one station (its manifest
         ``station`` if set, otherwise a stable synthetic identity), and
         the stations are interleaved with :meth:`merge` — so resident
@@ -137,15 +139,16 @@ class PacketStream:
         parity tests and ``benchmarks/bench_corpus.py`` assert.
 
         Args:
-            store: an open store, or a filesystem path to one.
+            store: an open corpus, or a filesystem path to one.
             role: only replay entries with this manifest role
                 (``"train"`` / ``"eval"``); None replays everything.
             label: only replay entries with this label.
         """
-        from repro.storage import TraceStore  # deferred: keep stream import light
+        # Deferred import: keep the stream package import-light.
+        from repro.storage import ShardSet, TraceStore, open_corpus
 
-        if not isinstance(store, TraceStore):
-            store = TraceStore.open(store)
+        if not isinstance(store, (TraceStore, ShardSet)):
+            store = open_corpus(store)
         streams = [
             cls.replay(
                 store.trace(entry.index),

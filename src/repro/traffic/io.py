@@ -157,27 +157,41 @@ def corpus_build(
     traces,
     scenario=None,
     meta=None,
+    schemes=None,
     overwrite: bool = False,
 ):
     """Persist an iterable of traces as a columnar corpus store.
 
     Items may be bare :class:`~repro.traffic.trace.Trace` objects or
     ``(trace, extra)`` pairs where ``extra`` maps ``role`` /
-    ``station`` manifest fields.  Returns the reopened, read-only
+    ``station`` manifest fields.  ``schemes`` attaches the
+    defense-scheme recipe the traces were generated under, so
+    programmatic builds keep the same provenance the scenario writer
+    records.  Returns the reopened, read-only
     :class:`~repro.storage.TraceStore`.
     """
     from repro.storage import write_traces
 
     return write_traces(
-        path, traces, scenario=scenario, meta=meta, overwrite=overwrite
+        path,
+        traces,
+        scenario=scenario,
+        meta=meta,
+        schemes=schemes,
+        overwrite=overwrite,
     )
 
 
 def corpus_open(path: str):
-    """Open a corpus store read-only (memory-mapped, zero-copy)."""
-    from repro.storage import TraceStore
+    """Open a corpus read-only — single store or shard-set federation.
 
-    return TraceStore.open(path)
+    Dispatches on the directory's manifest (see
+    :func:`repro.storage.open_corpus`); both formats come back with the
+    same zero-copy read API.
+    """
+    from repro.storage import open_corpus
+
+    return open_corpus(path)
 
 
 def csv_to_store(
@@ -185,6 +199,9 @@ def csv_to_store(
     store_path: str,
     labels: Sequence[str | None] | None = None,
     chunk: int = _CSV_CHUNK,
+    scenario=None,
+    meta=None,
+    schemes=None,
     overwrite: bool = False,
 ):
     """Convert CSV capture(s) into a corpus store, one trace per file.
@@ -195,7 +212,10 @@ def csv_to_store(
     an out-of-order row raises with its row number — load the file with
     :func:`trace_from_csv` (which sorts in memory) instead.
 
-    Returns the reopened, read-only :class:`~repro.storage.TraceStore`.
+    ``scenario`` / ``meta`` / ``schemes`` pass straight through to the
+    store manifest, so converted captures carry provenance just like
+    generated corpora.  Returns the reopened, read-only
+    :class:`~repro.storage.TraceStore`.
     """
     from repro.storage import TraceStore, TraceStoreWriter
 
@@ -206,7 +226,13 @@ def csv_to_store(
         raise ValueError(
             f"got {len(labels)} labels for {len(csv_paths)} CSV files"
         )
-    with TraceStoreWriter(store_path, overwrite=overwrite) as writer:
+    with TraceStoreWriter(
+        store_path,
+        scenario=scenario,
+        meta=meta,
+        schemes=schemes,
+        overwrite=overwrite,
+    ) as writer:
         for index, csv_path in enumerate(csv_paths):
             label = labels[index] if labels is not None else None
             writer.begin_trace(

@@ -205,6 +205,82 @@ class TestCorpus:
         assert "overwrite" in capsys.readouterr().err
 
 
+class TestShardedCorpus:
+    """`corpus build --shards` -> info/run, transparently federated."""
+
+    @pytest.fixture(scope="class")
+    def shards_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-shards") / "tiny.shards")
+        assert main(["corpus", "build", path, "--shards", "3", *TINY_FLAGS]) == 0
+        return path
+
+    def test_build_creates_a_federation(self, shards_path):
+        from repro.storage import ShardSet, is_shardset
+
+        assert is_shardset(shards_path)
+        federation = ShardSet.open(shards_path)
+        assert federation.shard_count == 3
+        assert federation.packets > 0
+        federation.close()
+
+    def test_info_reports_shard_count(self, capsys, shards_path):
+        assert main(["corpus", "info", shards_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert "train" in out and "eval" in out
+
+    def test_info_json_carries_shards_key(self, capsys, shards_path):
+        assert main(["corpus", "info", shards_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 3
+        assert payload["scenario"]["seed"] == 5
+
+    def test_run_against_federation_matches_regenerated(
+        self, capsys, shards_path
+    ):
+        # The federation hydrates the same scenario the generator
+        # produces at these params — rows must be bit-identical.
+        assert main(["run", "table1", "--corpus", shards_path,
+                     "--format", "json"]) == 0
+        from_corpus = json.loads(capsys.readouterr().out)
+        assert main(["run", "table1", *TINY_FLAGS, "--format", "json"]) == 0
+        regenerated = json.loads(capsys.readouterr().out)
+        assert from_corpus["rows"] == regenerated["rows"]
+
+    def test_corpus_run_with_jobs_matches_serial(self, capsys, shards_path):
+        assert main(["corpus", "run", "table1", shards_path,
+                     "--jobs", "2", "--format", "json"]) == 0
+        fanned = json.loads(capsys.readouterr().out)
+        assert main(["corpus", "run", "table1", shards_path,
+                     "--format", "json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert fanned["rows"] == serial["rows"]
+
+    def test_population_scale_runs_against_federation(
+        self, capsys, shards_path
+    ):
+        assert main(["corpus", "run", "population_scale", shards_path,
+                     "--set", "populations=4", "--set", "shards=2",
+                     "--set", "station_duration=5",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "population_scale"
+        (row,) = payload["rows"]
+        assert row[0] == 4 and row[1] > 0
+
+    def test_invalid_shard_count_exits_2(self, capsys, tmp_path):
+        assert main(["corpus", "build", str(tmp_path / "bad.shards"),
+                     "--shards", "0", *TINY_FLAGS]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_build_refuses_federation_overwrite_without_flag(
+        self, capsys, shards_path
+    ):
+        assert main(["corpus", "build", shards_path, "--shards", "3",
+                     *TINY_FLAGS]) == 2
+        assert "overwrite" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_serial_only_prints_timing(self, capsys):
         assert main(["bench", "fig4", *TINY_FLAGS, "--set", "duration=5"]) == 0

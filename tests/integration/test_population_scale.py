@@ -1,0 +1,138 @@
+"""Out-of-core contract of the ``population_scale`` experiment.
+
+Two acceptance bars from the sharded-federation work:
+
+* **Bit-identity.**  The population sweep's rows are identical at
+  ``jobs=1`` and ``jobs=2``, under fork *and* spawn — every per-station
+  quantity is a pure seed derivation, so cell placement can't matter.
+* **Bounded memory.**  Every cell touches only its own shard's slice:
+  the per-cell ``store.bytes_mapped`` gauge equals that cell's scratch
+  store (its shard's packets × 24 B/row) and never the population
+  total — the captured profiles are the proof that evaluation is
+  out-of-core, not just decomposed.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.population_scale import station_app, station_name
+from repro.experiments.registry import ScenarioParams
+from repro.storage import shard_for_key
+
+TINY = ScenarioParams(
+    seed=5, train_duration=30.0, eval_duration=20.0, train_sessions=1, eval_sessions=1
+)
+
+#: Reduced sweep: two population sizes over two shards (4 cells).
+OPTIONS = {"populations": "6,12", "shards": 2, "station_duration": 8.0}
+
+#: Bytes one packet occupies across the six column files.
+ROW_BYTES = 24
+
+
+@pytest.fixture(autouse=True)
+def fresh_worker_state():
+    parallel.clear_worker_state()
+    yield
+    parallel.clear_worker_state()
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    parallel.clear_worker_state()
+    result = parallel.run_experiment_result(
+        "population_scale", TINY, options=OPTIONS, profile=True
+    )
+    parallel.clear_worker_state()
+    return result
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_rows_identical_at_jobs2_under_any_start_method(
+        self, serial_result, start_method
+    ):
+        fanned = parallel.run_experiment_result(
+            "population_scale", TINY, options=OPTIONS,
+            jobs=2, start_method=start_method,
+        )
+        serial_json = json.loads(serial_result.to_json())
+        fanned_json = json.loads(fanned.to_json())
+        serial_json.pop("profile")
+        assert fanned_json["rows"] == serial_json["rows"]
+        assert fanned_json["extras"] == serial_json["extras"]
+
+    def test_rows_are_sane(self, serial_result):
+        payload = json.loads(serial_result.to_json())
+        populations = [row[0] for row in payload["rows"]]
+        assert populations == [6, 12]
+        for row in payload["rows"]:
+            population, packets, windows, flows, acc, overhead, handshake = row
+            assert packets > 0 and windows > 0 and flows >= population
+            assert 0.0 <= acc <= 100.0
+            assert overhead >= 0.0 and handshake >= 0
+
+
+class TestStationStability:
+    def test_station_identity_is_population_independent(self):
+        # Growing the population adds stations; it never reshuffles the
+        # ones that already exist — the sweep's core premise.
+        for index in range(12):
+            station = station_name(index)
+            assert station_app(TINY.seed, station) is station_app(
+                TINY.seed, station
+            )
+
+    def test_placement_partitions_every_population(self, serial_result):
+        shard_packets = json.loads(serial_result.to_json())["extras"][
+            "shard_packets"
+        ]
+        for population in (6, 12):
+            routed = [
+                shard_for_key(station_name(i), OPTIONS["shards"])
+                for i in range(population)
+            ]
+            for shard in range(OPTIONS["shards"]):
+                key = f"pop={population}/shard={shard}"
+                assert key in shard_packets
+                # A shard with no routed stations holds zero packets.
+                if routed.count(shard) == 0:
+                    assert shard_packets[key] == 0
+                else:
+                    assert shard_packets[key] > 0
+
+
+class TestOutOfCoreBound:
+    def test_per_cell_mapped_bytes_is_one_shard_slice(self, serial_result):
+        payload = json.loads(serial_result.to_json())
+        profile = payload["profile"]
+        shard_packets = payload["extras"]["shard_packets"]
+        population_bytes = {}
+        for name, packets in shard_packets.items():
+            population = name.split("/", 1)[0]
+            population_bytes[population] = (
+                population_bytes.get(population, 0) + packets * ROW_BYTES
+            )
+        assert len(profile["cells"]) == len(shard_packets)
+        for cell in profile["cells"]:
+            expected = shard_packets[cell["cell"]] * ROW_BYTES
+            mapped = cell["gauges"].get("store.bytes_mapped", 0)
+            # The cell maps exactly its scratch slice...
+            assert mapped == expected
+            # ...which is strictly less than the whole population's
+            # corpus whenever more than one shard got stations.
+            population = cell["cell"].split("/", 1)[0]
+            if expected and expected != population_bytes[population]:
+                assert mapped < population_bytes[population]
+
+    def test_shards_tally_the_whole_population_corpus(self, serial_result):
+        payload = json.loads(serial_result.to_json())
+        shard_packets = payload["extras"]["shard_packets"]
+        by_population = {}
+        for name, packets in shard_packets.items():
+            population = int(name.split("/", 1)[0].split("=", 1)[1])
+            by_population[population] = by_population.get(population, 0) + packets
+        rows = {row[0]: row[1] for row in payload["rows"]}
+        assert by_population == rows

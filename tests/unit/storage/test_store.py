@@ -71,6 +71,31 @@ class TestRoundTrip:
         assert store.labels() == ("test",)
         assert_traces_bitwise_equal(unlabeled, store.trace(1))
 
+    def test_traces_by_label_skips_unlabeled(self, simple_trace, store_path):
+        # Regression: unlabeled entries used to leak in under a None
+        # key, which labels() never reports and training code would
+        # treat as a phantom class.
+        store = write_traces(
+            store_path, [simple_trace, simple_trace.with_label(None)]
+        )
+        by_label = store.traces_by_label()
+        assert set(by_label) == {"test"}
+        assert None not in by_label
+        assert len(by_label["test"]) == 1
+
+    def test_schemes_recipe_round_trips(self, simple_trace, store_path):
+        schemes = [{"scheme": "padding", "params": {"block": 128}}]
+        store = write_traces(store_path, [simple_trace], schemes=schemes)
+        assert store.schemes == schemes
+        assert load_manifest(store_path)["schemes"] == schemes
+        (spec,) = store.scheme_specs()
+        assert spec.scheme == "padding"
+
+    def test_schemes_key_absent_when_not_provided(self, simple_trace, store_path):
+        store = write_traces(store_path, [simple_trace])
+        assert "schemes" not in load_manifest(store_path)
+        assert store.scheme_specs() == ()
+
     def test_empty_trace_and_empty_store(self, store_path, tmp_path):
         store = write_traces(store_path, [Trace.empty(label="nothing")])
         assert len(store) == 1
@@ -144,6 +169,7 @@ class TestChunkedWriter:
                     simple_trace.directions[sl], simple_trace.ifaces[sl],
                     simple_trace.channels[sl], simple_trace.rssi[sl],
                 )
+            writer.end_trace()
         chunked = TraceStore.open(str(tmp_path / "b.store"))
         assert_traces_bitwise_equal(one_shot.trace(0), chunked.trace(0))
 
@@ -180,6 +206,21 @@ class TestChunkedWriter:
         with TraceStoreWriter(store_path) as writer:
             with pytest.raises(RuntimeError, match="begin_trace"):
                 writer.append_columns([0.0], [10])
+
+    def test_close_with_open_trace_refuses_to_seal_silently(
+        self, simple_trace, store_path
+    ):
+        # Regression: close() used to auto-seal a still-open trace,
+        # committing a possibly half-written build as valid.
+        writer = TraceStoreWriter(store_path)
+        writer.begin_trace(label="half")
+        writer.append_columns([0.0], [10])
+        with pytest.raises(RuntimeError, match="still open"):
+            writer.close()
+        # The build is still recoverable: sealing explicitly commits.
+        writer.end_trace()
+        writer.close()
+        assert TraceStore.open(store_path).trace(0).label == "half"
 
     def test_aborted_writer_leaves_no_store(self, simple_trace, store_path):
         with pytest.raises(RuntimeError, match="boom"):
@@ -259,6 +300,20 @@ class TestFormatGuards:
         manifest["traces"][0]["offset"] = 3
         open(manifest_path, "w").write(json.dumps(manifest))
         with pytest.raises(StoreFormatError, match="contiguous"):
+            TraceStore.open(store_path)
+
+    def test_negative_count_named_distinctly(self, simple_trace, store_path):
+        # Regression: a negative count used to surface as a confusing
+        # offset-mismatch on the *next* entry; it now gets its own
+        # diagnosis naming the bad entry.
+        write_traces(store_path, [simple_trace])
+        manifest_path = os.path.join(store_path, "manifest.json")
+        manifest = json.loads(open(manifest_path).read())
+        manifest["traces"][0]["count"] = -8
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(
+            StoreFormatError, match=r"trace 0 declares a negative packet count"
+        ):
             TraceStore.open(store_path)
 
     def test_load_manifest_exposes_recipe(self, simple_trace, store_path):

@@ -1,9 +1,16 @@
-"""Tests for CSV trace I/O."""
+"""Tests for CSV trace I/O and the corpus build/open conveniences."""
 
 import numpy as np
 import pytest
 
-from repro.traffic.io import trace_from_csv, trace_to_csv
+from repro.storage import ShardSet, ShardSetWriter, load_manifest
+from repro.traffic.io import (
+    corpus_build,
+    corpus_open,
+    csv_to_store,
+    trace_from_csv,
+    trace_to_csv,
+)
 from repro.traffic.trace import Trace
 
 
@@ -98,3 +105,46 @@ class TestExternalCsv:
         loaded = trace_from_csv(str(path))
         assert loaded.ifaces[0] == 0
         assert loaded.channels[0] == 1
+
+
+class TestCorpusProvenance:
+    """corpus_build / csv_to_store thread scenario + schemes through."""
+
+    def test_corpus_build_records_schemes(self, simple_trace, tmp_path):
+        schemes = [{"scheme": "padding", "params": {"block": 64}}]
+        path = str(tmp_path / "built.store")
+        store = corpus_build(
+            path, [simple_trace], scenario={"seed": 2}, schemes=schemes
+        )
+        assert store.scenario == {"seed": 2}
+        assert store.schemes == schemes
+        assert load_manifest(path)["schemes"] == schemes
+
+    def test_csv_to_store_records_scenario_meta_and_schemes(
+        self, simple_trace, tmp_path
+    ):
+        csv_path = str(tmp_path / "capture.csv")
+        trace_to_csv(simple_trace, csv_path)
+        schemes = [{"scheme": "padding", "params": {"block": 64}}]
+        store = csv_to_store(
+            csv_path,
+            str(tmp_path / "capture.store"),
+            labels=["test"],
+            scenario={"source": "csv"},
+            meta={"capture": "unit"},
+            schemes=schemes,
+        )
+        assert store.scenario == {"source": "csv"}
+        assert store.meta == {"capture": "unit"}
+        assert store.schemes == schemes
+
+    def test_corpus_open_dispatches_on_format(self, simple_trace, tmp_path):
+        store_path = str(tmp_path / "single.store")
+        corpus_build(store_path, [simple_trace])
+        shards_path = str(tmp_path / "many.shards")
+        with ShardSetWriter(shards_path, shards=2) as writer:
+            writer.add(simple_trace, station="sta0")
+        assert not isinstance(corpus_open(store_path), ShardSet)
+        federation = corpus_open(shards_path)
+        assert isinstance(federation, ShardSet)
+        assert len(federation) == 1
