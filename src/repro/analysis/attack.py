@@ -271,6 +271,38 @@ class AttackPipeline:
                     if len(matrix):
                         matrices.append(matrix)
                         true_labels.extend([label] * len(matrix))
+        return self._score(matrices, true_labels)
+
+    def evaluate_matrices(
+        self,
+        matrices_by_label: dict[str, list[np.ndarray]],
+    ) -> AttackReport:
+        """Score already-featurized flows (the fused path's entry point).
+
+        ``matrices_by_label`` maps each true application to its flows'
+        feature matrices (one ``(n_windows, 12)`` array per observable
+        flow, e.g. from :func:`repro.analysis.batch.fused_feature_matrices`).
+        Scoring — batched classification, confusion accounting — and the
+        ``featurize.*`` telemetry are shared with :meth:`evaluate_flows`,
+        so a fused evaluation reports bit-identically to the
+        materializing one when the matrices match.
+        """
+        matrices: list[np.ndarray] = []
+        true_labels: list[str] = []
+        with obs_span("featurize"):
+            for label, flow_matrices in matrices_by_label.items():
+                for matrix in flow_matrices:
+                    obs_add("featurize.flows")
+                    obs_add("featurize.windows", len(matrix))
+                    if len(matrix):
+                        matrices.append(matrix)
+                        true_labels.extend([label] * len(matrix))
+        return self._score(matrices, true_labels)
+
+    def _score(
+        self, matrices: list[np.ndarray], true_labels: list[str]
+    ) -> AttackReport:
+        """Classify the collected windows and score against truth."""
         if matrices:
             predicted = self.classify_matrix(np.concatenate(matrices, axis=0))
         else:

@@ -87,3 +87,11 @@ class QuantileBoundaryReshaper(Reshaper):
 
     def assign_trace(self, trace: Trace) -> np.ndarray:
         return self._inner.assign_trace(trace)
+
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        return self._inner.assign_columns(times, sizes, directions)

@@ -52,6 +52,25 @@ class Reshaper(abc.ABC):
             )
         return out
 
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray | None:
+        """Reset-semantics assignment straight off the source columns.
+
+        The fused evaluation path's entry point: where
+        :meth:`assign_trace` consumes (and advances) online state, this
+        returns what a **freshly reset** scheduler's ``assign_trace``
+        would — bit-identical — without requiring a :class:`Trace` at
+        all, so it works on ``TraceStore`` memmap column slices as-is.
+        Returns ``None`` when the scheduler's recurrence cannot be
+        expressed in closed form from the columns (the default); the
+        pipeline then falls back to materializing.
+        """
+        return None
+
     def reset(self) -> None:
         """Clear any online state (per-direction counters etc.)."""
 

@@ -55,6 +55,17 @@ class RandomReshaper(Reshaper):
     def assign_trace(self, trace: Trace) -> np.ndarray:
         return self._rng.integers(0, self._interfaces, size=len(trace)).astype(np.int16)
 
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        # A fresh derivation replays the post-reset stream: the first
+        # ``n`` draws are exactly what reset() + assign_trace would emit.
+        rng = derive_rng(self._seed, "reshaper", "random")
+        return rng.integers(0, self._interfaces, size=len(times)).astype(np.int16)
+
     def reset(self) -> None:
         self._rng = derive_rng(self._seed, "reshaper", "random")
 
@@ -90,6 +101,18 @@ class RoundRobinReshaper(Reshaper):
             start = self._counters[direction]
             out[mask] = (start + np.arange(count)) % self._interfaces
             self._counters[direction] += count
+        return out
+
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        out = np.empty(len(times), dtype=np.int16)
+        for direction in (0, 1):
+            mask = np.asarray(directions) == direction
+            out[mask] = np.arange(int(mask.sum())) % self._interfaces
         return out
 
     def reset(self) -> None:
@@ -147,6 +170,14 @@ class OrthogonalReshaper(StatelessReshaper):
         ranges = self._targets.range_of(trace.sizes)
         return self._owners[ranges].astype(np.int16)
 
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        return self._owners[self._targets.range_of(np.asarray(sizes))].astype(np.int16)
+
 
 class ModuloReshaper(StatelessReshaper):
     """OR by size modulo: ``i = L(s_k) mod I`` (Fig. 5).
@@ -170,6 +201,14 @@ class ModuloReshaper(StatelessReshaper):
 
     def assign_trace(self, trace: Trace) -> np.ndarray:
         return (trace.sizes % self._interfaces).astype(np.int16)
+
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        return (np.asarray(sizes) % self._interfaces).astype(np.int16)
 
 
 class FrequencyHoppingScheduler(StatelessReshaper):
@@ -216,6 +255,14 @@ class FrequencyHoppingScheduler(StatelessReshaper):
 
     def assign_trace(self, trace: Trace) -> np.ndarray:
         return self.slot_of(trace.times)
+
+    def assign_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+    ) -> np.ndarray:
+        return self.slot_of(times)
 
     def reshape(self, trace: Trace) -> Trace:
         """Assign slots and stamp the per-packet channel numbers."""

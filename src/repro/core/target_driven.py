@@ -96,18 +96,27 @@ class TargetDrivenReshaper(Reshaper):
         return float(np.sqrt(((self._targets.matrix - p) ** 2).sum(axis=1)).sum())
 
     def assign_trace(self, trace: Trace) -> np.ndarray:
+        # The greedy recurrence is inherently sequential (each decision
+        # feeds the next), but the per-packet work need not rescan every
+        # interface's history: only the winner's deviation and load
+        # change, and its new deviation is exactly the candidate value
+        # already computed when scoring it (`_deviation_if_assigned`
+        # evaluates the same float expression `_current_deviation` would
+        # after the increment), so caching both is bit-identical to the
+        # recompute-everything loop the per-packet oracle runs.
         range_indices = self._targets.range_of(trace.sizes)
         out = np.empty(len(trace), dtype=np.int16)
+        current = [self._current_deviation(iface) for iface in range(self.interfaces)]
+        loads = [int(self._counts[iface].sum()) for iface in range(self.interfaces)]
         for position, range_index in enumerate(range_indices):
-            best_iface, best_key = 0, None
+            best_iface, best_key, best_deviation = 0, None, 0.0
             for iface in range(self.interfaces):
-                delta = self._deviation_if_assigned(iface, int(range_index)) - (
-                    self._current_deviation(iface)
-                )
-                load = int(self._counts[iface].sum())
-                key = (delta, load)
+                candidate = self._deviation_if_assigned(iface, int(range_index))
+                key = (candidate - current[iface], loads[iface])
                 if best_key is None or key < best_key:
-                    best_iface, best_key = iface, key
+                    best_iface, best_key, best_deviation = iface, key, candidate
             self._counts[best_iface, range_index] += 1
+            current[best_iface] = best_deviation
+            loads[best_iface] += 1
             out[position] = best_iface
         return out

@@ -12,7 +12,12 @@
 * :func:`byte_overhead` — the overhead metric of Table VI.
 """
 
-from repro.defenses.base import Defense, DefendedTraffic
+from repro.defenses.base import (
+    Defense,
+    DefendedTraffic,
+    FusedPlan,
+    FusedStage,
+)
 from repro.defenses.padding import PacketPadding
 from repro.defenses.morphing import (
     MorphingMatrix,
@@ -26,6 +31,8 @@ from repro.defenses.overhead import byte_overhead, overhead_percent
 __all__ = [
     "DefendedTraffic",
     "Defense",
+    "FusedPlan",
+    "FusedStage",
     "MorphingMatrix",
     "PacketPadding",
     "PseudonymDefense",

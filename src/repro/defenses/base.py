@@ -5,16 +5,36 @@ Every defense consumes an application trace and produces
 can distinguish (per MAC address / virtual interface / channel slice)
 plus byte-overhead accounting.  The attack pipeline then classifies each
 observable flow separately.
+
+Reshaping-style defenses — whose observable flows are masked selections
+and relabelings of the source columns, optionally with an elementwise
+size rewrite — can additionally describe themselves as a
+:class:`FusedPlan`: a per-packet flow-assignment array plus the
+per-stage accounting, letting the batch featurizer
+(:func:`repro.analysis.batch.fused_feature_matrices`) read straight off
+the source columns (including ``TraceStore`` memmaps) without ever
+materializing per-flow :class:`~repro.traffic.trace.Trace` copies.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+import numpy as np
 
 from repro.traffic.trace import Trace
 
-__all__ = ["DefendedTraffic", "Defense", "StageOverhead"]
+__all__ = [
+    "ChainedSizeTransform",
+    "DefendedTraffic",
+    "Defense",
+    "FusedPlan",
+    "FusedStage",
+    "StageOverhead",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +103,182 @@ class DefendedTraffic:
         return self.extra_bytes / original
 
 
+#: Elementwise size rewrite of a fused plan: ``(sizes, directions) ->
+#: int64 sizes``, pure and vectorized (padding is the canonical case).
+SizeTransform = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class FusedStage:
+    """One stage's accounting inside a :class:`FusedPlan`.
+
+    Mirrors exactly what the stage's materializing ``apply`` would have
+    recorded — the fused path replays these so ``scheme.*`` telemetry is
+    identical whether flows were materialized or planned.
+
+    Attributes:
+        scheme: the stage's scheme name (``"or"``, ``"padding"``...).
+        applies: how many times the legacy path would have called the
+            stage's ``apply`` (1 for a top-level scheme; the previous
+            stage's fan-out inside a stack).
+        fanouts: observable-flow count of each of those applies, in
+            application order.
+        extra_bytes: total data-path bytes the stage adds.
+        handshake_bytes: total Fig. 2 configuration bytes the stage
+            spends (one engine handshake per apply).
+    """
+
+    scheme: str
+    applies: int
+    fanouts: tuple[int, ...]
+    extra_bytes: int
+    handshake_bytes: int
+
+
+@dataclass(frozen=True)
+class ChainedSizeTransform:
+    """Composition of per-stage size transforms, applied left to right."""
+
+    transforms: tuple[SizeTransform, ...]
+
+    def __call__(self, sizes: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            sizes = transform(sizes, directions)
+        return sizes
+
+
+@dataclass(frozen=True, eq=False)
+class FusedPlan:
+    """A defense's observable flows as a vectorized plan over columns.
+
+    Where :class:`DefendedTraffic` *materializes* flows, a plan merely
+    *describes* them: packet ``k`` of the source trace lands in
+    observable flow ``assignments[k]`` with its size rewritten by
+    ``size_transform`` (identity when ``None``).  Flow numbering matches
+    the legacy path's sorted-id order, so flow ``f`` of the plan is
+    bit-identical (times/sizes/directions) to
+    ``DefendedTraffic.observable_flows[f]``.
+
+    ``order``/``flow_bounds`` are the gather index: packets of flow
+    ``f`` are ``order[flow_bounds[f]:flow_bounds[f + 1]]`` in time
+    order.  Both are computed lazily (one stable ``argsort`` / one
+    ``bincount`` on first access) and cached — intermediate plans built
+    during stack composition are consumed assignments-only and never
+    pay for an index they don't use.
+
+    Attributes:
+        assignments: int64 observable-flow index per packet, dense in
+            ``[0, n_flows)``.
+        n_flows: observable flow count (flows may be empty — the legacy
+            path emits empty flows too, e.g. identity on an empty trace).
+        size_transform: elementwise size rewrite, or ``None``.
+        stages: per-stage accounting (see :class:`FusedStage`).
+        stack: whether the plan describes a composed scheme stack.
+    """
+
+    assignments: np.ndarray
+    n_flows: int
+    size_transform: SizeTransform | None = None
+    stages: tuple[FusedStage, ...] = ()
+    stack: bool = False
+
+    @classmethod
+    def from_assignments(
+        cls,
+        raw: np.ndarray,
+        *,
+        n_flows: int | None = None,
+        size_transform: SizeTransform | None = None,
+        stages: tuple[FusedStage, ...] = (),
+        stack: bool = False,
+    ) -> FusedPlan:
+        """Build a plan from a raw per-packet assignment array.
+
+        With ``n_flows=None`` the raw values are renumbered to their
+        sorted-unique rank — the same order
+        :meth:`~repro.traffic.trace.Trace.split_by_iface` emits flows
+        in, which is what keeps plan flow ``f`` aligned with the legacy
+        path's flow ``f``.  Pass ``n_flows`` explicitly when ``raw`` is
+        already dense (and possibly includes empty flows).
+        """
+        raw = np.asarray(raw)
+        if n_flows is None:
+            if not len(raw):
+                assignments = np.zeros(0, dtype=np.int64)
+                n_flows = 0
+            elif (
+                np.issubdtype(raw.dtype, np.integer)
+                and int(raw.min()) >= 0
+                and int(raw.max()) < 1 << 22
+            ):
+                # Scheduler/epoch ids are small non-negative ints: an
+                # O(n) bincount rank replaces the sort behind np.unique
+                # while preserving its sorted-unique numbering exactly.
+                counts = np.bincount(raw)
+                occupied = np.flatnonzero(counts)
+                rank = np.zeros(len(counts), dtype=np.int64)
+                rank[occupied] = np.arange(len(occupied))
+                assignments = rank[raw]
+                n_flows = int(len(occupied))
+            else:
+                occupied, assignments = np.unique(raw, return_inverse=True)
+                n_flows = int(len(occupied))
+                assignments = assignments.astype(np.int64, copy=False).reshape(-1)
+        else:
+            assignments = raw.astype(np.int64, copy=False)
+        return cls(
+            assignments=assignments,
+            n_flows=n_flows,
+            size_transform=size_transform,
+            stages=stages,
+            stack=stack,
+        )
+
+    def with_stages(
+        self, stages: tuple[FusedStage, ...], stack: bool = False
+    ) -> FusedPlan:
+        """The same plan with its accounting replaced."""
+        return replace(self, stages=stages, stack=stack)
+
+    @cached_property
+    def flow_bounds(self) -> np.ndarray:
+        """``(n_flows + 1,)`` prefix offsets into :attr:`order`."""
+        counts = np.bincount(self.assignments, minlength=self.n_flows)
+        flow_bounds = np.zeros(self.n_flows + 1, dtype=np.int64)
+        np.cumsum(counts, out=flow_bounds[1:])
+        return flow_bounds
+
+    @cached_property
+    def order(self) -> np.ndarray:
+        """Stable argsort of :attr:`assignments` (the flow gather index)."""
+        return np.argsort(self.assignments, kind="stable")
+
+    def flow_indices(self, flow: int) -> np.ndarray:
+        """Source-column indices of observable flow ``flow``, in time order."""
+        lo, hi = self.flow_bounds[flow], self.flow_bounds[flow + 1]
+        return self.order[lo:hi]
+
+    @property
+    def extra_bytes(self) -> int:
+        """Total data-path bytes added (additive across stages)."""
+        return sum(stage.extra_bytes for stage in self.stages)
+
+    @property
+    def handshake_bytes(self) -> int:
+        """Total configuration bytes spent (additive across stages)."""
+        return sum(stage.handshake_bytes for stage in self.stages)
+
+    @property
+    def plan_bytes(self) -> int:
+        """Bytes the plan's index arrays occupy once fully realized.
+
+        Counts ``assignments`` plus the lazily built ``order`` and
+        ``flow_bounds`` at their known shapes — a deterministic formula,
+        independent of which lazy indexes happen to be cached yet.
+        """
+        return 2 * self.assignments.nbytes + (self.n_flows + 1) * 8
+
+
 class Defense(abc.ABC):
     """A traffic-analysis countermeasure applied to one trace."""
 
@@ -95,3 +291,22 @@ class Defense(abc.ABC):
     def apply_many(self, traces: list[Trace]) -> list[DefendedTraffic]:
         """Apply the defense to several traces independently."""
         return [self.apply(trace) for trace in traces]
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan | None:
+        """Describe :meth:`apply` as a :class:`FusedPlan`, if possible.
+
+        Returns ``None`` when the defense cannot be expressed as a flow
+        assignment plus an elementwise size rewrite (e.g. morphing,
+        which resamples sizes stochastically); the evaluation pipeline
+        then falls back to the materializing path.  Implementations
+        must be deterministic in ``(self, columns)`` and bit-identical
+        to ``apply`` — flow ``f`` of the plan selects exactly the
+        packets of ``apply(trace).observable_flows[f]``.
+        """
+        return None

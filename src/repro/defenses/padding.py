@@ -11,15 +11,17 @@ for every other application — and leave the sparse ack stream alone.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.defenses.base import DefendedTraffic, Defense
+from repro.defenses.base import DefendedTraffic, Defense, FusedPlan, FusedStage
 from repro.traffic.apps import AppType
 from repro.traffic.packet import DOWNLINK, UPLINK, Direction
 from repro.traffic.sizes import MAX_PACKET_SIZE
 from repro.traffic.trace import Trace
 
-__all__ = ["PacketPadding", "data_direction_of"]
+__all__ = ["PacketPadding", "PadSizes", "data_direction_of"]
 
 
 def data_direction_of(app: AppType | str | None) -> Direction:
@@ -37,6 +39,29 @@ def data_direction_of(app: AppType | str | None) -> Direction:
         except ValueError:
             return DOWNLINK
     return UPLINK if app is AppType.UPLOADING else DOWNLINK
+
+
+@dataclass(frozen=True)
+class PadSizes:
+    """Elementwise size transform of :class:`PacketPadding` (fused form).
+
+    ``direction`` is the padded direction, or ``None`` for both; the
+    arithmetic mirrors ``PacketPadding.apply`` exactly (same
+    ``np.where``/``np.maximum`` expressions on int64), so fused sizes
+    are bit-identical to the materialized defended trace's.
+    """
+
+    pad_to: int
+    direction: int | None
+
+    def __call__(self, sizes: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        if self.direction is None:
+            return np.maximum(sizes, self.pad_to)
+        return np.where(
+            np.asarray(directions) == self.direction,
+            np.maximum(sizes, self.pad_to),
+            sizes,
+        )
 
 
 class PacketPadding(Defense):
@@ -66,3 +91,31 @@ class PacketPadding(Defense):
         defended = trace.with_sizes(padded)
         extra = int(padded.sum() - sizes.sum())
         return DefendedTraffic(original=trace, flows={0: defended}, extra_bytes=extra)
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan:
+        """Padding fuses trivially: one flow, an elementwise size rewrite."""
+        sizes = np.asarray(sizes)
+        # extra = sum over covered packets of max(0, pad_to - size),
+        # computed maskwise so no gathered copy of the column is made.
+        deficit = np.maximum(self.pad_to - sizes, 0)
+        if self.pad_both_directions:
+            transform = PadSizes(self.pad_to, None)
+            extra = int(deficit.sum())
+        else:
+            direction = int(data_direction_of(label))
+            transform = PadSizes(self.pad_to, direction)
+            extra = int(
+                np.where(np.asarray(directions) == direction, deficit, 0).sum()
+            )
+        return FusedPlan.from_assignments(
+            np.zeros(len(sizes), dtype=np.int64),
+            n_flows=1,
+            size_transform=transform,
+            stages=(FusedStage(self.name, 1, (1,), extra, 0),),
+        )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.defenses.base import DefendedTraffic, Defense
+from repro.defenses.base import DefendedTraffic, Defense, FusedPlan, FusedStage
 from repro.traffic.trace import Trace
 from repro.util.validation import require_positive
 
@@ -47,4 +47,26 @@ class PseudonymDefense(Defense):
             original=trace,
             flows=relabeled.split_by_iface(),
             extra_bytes=0,
+        )
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan:
+        """Epoch partitioning as a plan (same arithmetic as ``apply``)."""
+        if len(times) == 0:
+            # apply() emits zero flows for an empty trace.
+            return FusedPlan.from_assignments(
+                np.zeros(0, dtype=np.int64),
+                n_flows=0,
+                stages=(FusedStage(self.name, 1, (0,), 0, 0),),
+            )
+        start = float(times[0])
+        epoch_index = np.floor((times - start) / self.epoch).astype(np.int16)
+        plan = FusedPlan.from_assignments(epoch_index)
+        return plan.with_stages(
+            (FusedStage(self.name, 1, (plan.n_flows,), 0, 0),)
         )

@@ -20,9 +20,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro import obs
 from repro.analysis.attack import AttackPipeline, AttackReport
-from repro.analysis.batch import WindowCache
+from repro.analysis.batch import WindowCache, fused_flow_matrices
 from repro.analysis.windows import window_key
 from repro.core.base import Reshaper
 from repro.experiments.scenarios import EvaluationScenario, build_schemes
@@ -101,6 +103,26 @@ class ExperimentRunner:
                 self._built[key] = build_stack(key, self.scenario.seed)
         return self._built[key]
 
+    def _resolve(self, scheme: "SchemeLike") -> tuple[object, Scheme | None]:
+        """``(cache key object, applied Scheme)`` for any scheme-like input.
+
+        Specs/compositions build through :meth:`scheme` (memoized, so
+        the key is identity-stable); legacy bare reshapers route through
+        the Scheme adapter for instrumentation while the cache stays
+        keyed on the reshaper itself (identity is what callers share).
+        ``None`` — the undefended original — resolves to ``(None, None)``.
+        """
+        if scheme is None:
+            return None, None
+        if isinstance(scheme, (SchemeSpec, str)) or (
+            not isinstance(scheme, (Scheme, Reshaper))
+            and isinstance(scheme, Sequence)
+        ):
+            scheme = self.scheme(scheme)
+        if isinstance(scheme, Scheme):
+            return scheme, scheme
+        return scheme, as_scheme(scheme)
+
     def observable_flows(
         self,
         scheme: "SchemeLike",
@@ -114,42 +136,90 @@ class ExperimentRunner:
         it.  A cell therefore observes identical ``scheme.*`` counts
         whether it shares a warm serial cache or a cold per-worker one.
         """
-        if scheme is None:
+        key, applied = self._resolve(scheme)
+        if applied is None:
             return [trace]
-        if isinstance(scheme, (SchemeSpec, str)) or (
-            not isinstance(scheme, (Scheme, Reshaper))
-            and isinstance(scheme, Sequence)
-        ):
-            scheme = self.scheme(scheme)
-        if isinstance(scheme, Scheme):
-            applied = scheme
-        else:
-            # Legacy bare reshapers route through the Scheme adapter so
-            # they hit the same instrumentation; the cache stays keyed
-            # on the reshaper itself (identity is what callers share).
-            applied = as_scheme(scheme)
         flows, subprofile = self._cache.defended_flows(
-            scheme,
+            key,
             trace,
             lambda: obs.captured(lambda: applied.apply(trace).observable_flows),
         )
         obs.replay(subprofile)
         return flows
 
+    def flow_feature_matrices(
+        self,
+        scheme: "SchemeLike",
+        trace: Trace,
+        window: float,
+        min_packets: int = 2,
+    ) -> list[np.ndarray]:
+        """Per-observable-flow feature matrices of ``trace`` under ``scheme``.
+
+        The fused-or-fallback dispatch point of the evaluation loop:
+        fusable schemes (reshaping-only — see
+        :meth:`repro.schemes.Scheme.fused_plan`) are featurized straight
+        off the trace's columns with zero intermediate ``Trace``
+        allocation; everything else (morphing, adaptive, custom
+        schemes) transparently falls back to the materializing
+        apply→featurize path, counted in ``batch.fallback_flows``.
+        Both paths memoize in the shared :class:`WindowCache` with
+        capture-and-replay telemetry, and both are bit-identical: the
+        fused path is property-tested against the legacy oracle
+        element-for-element.
+        """
+        key, applied = self._resolve(scheme)
+        if applied is None:
+            return [self._cache.feature_matrix(trace, window, min_packets)]
+        plan, plan_subprofile = self._cache.fused_plan(
+            key,
+            trace,
+            lambda: obs.captured(lambda: applied.fused_plan(trace)),
+        )
+        if plan is None:
+            flows = self.observable_flows(scheme, trace)
+            obs.add("batch.fallback_flows", len(flows))
+            return [
+                self._cache.feature_matrix(flow, window, min_packets)
+                for flow in flows
+            ]
+        obs.replay(plan_subprofile)
+        matrices, subprofile = self._cache.fused_matrices(
+            key,
+            trace,
+            window,
+            min_packets,
+            lambda: obs.captured(
+                lambda: fused_flow_matrices(trace, plan, window, min_packets)
+            ),
+        )
+        obs.replay(subprofile)
+        return matrices
+
     def evaluate_scheme(
         self,
         scheme: "SchemeLike",
         window: float,
     ) -> AttackReport:
-        """Attack every application's evaluation sessions under one scheme."""
+        """Attack every application's evaluation sessions under one scheme.
+
+        Featurization routes through :meth:`flow_feature_matrices`
+        (fused when the scheme allows, materializing otherwise); scoring
+        is the pipeline's shared tail, so reports are bit-identical to
+        the legacy ``observable_flows`` → ``evaluate_flows`` loop.
+        """
         pipeline = self.pipeline(window)
-        flows_by_label: dict[str, list[Trace]] = {}
+        matrices_by_label: dict[str, list[np.ndarray]] = {}
         for label, traces in self.scenario.evaluation_by_label().items():
-            flows: list[Trace] = []
+            matrices: list[np.ndarray] = []
             for trace in traces:
-                flows.extend(self.observable_flows(scheme, trace))
-            flows_by_label[label] = flows
-        return pipeline.evaluate_flows(flows_by_label, cache=self._cache)
+                matrices.extend(
+                    self.flow_feature_matrices(
+                        scheme, trace, window, pipeline.min_packets
+                    )
+                )
+            matrices_by_label[label] = matrices
+        return pipeline.evaluate_matrices(matrices_by_label)
 
     def schemes(self, interfaces: int = DEFAULT_INTERFACES) -> dict[str, Reshaper | None]:
         """The runner's scheme set (built once per interface count).

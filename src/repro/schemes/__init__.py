@@ -22,6 +22,7 @@ See ``docs/architecture.md`` ("The scheme pipeline") for composition
 semantics and the determinism model.
 """
 
+from repro.defenses.base import FusedPlan, FusedStage
 from repro.schemes.base import (
     DefenseScheme,
     IdentityScheme,
@@ -65,6 +66,8 @@ __all__ = [
     "DefenseScheme",
     "FH_CHANNELS",
     "FH_DWELL_SECONDS",
+    "FusedPlan",
+    "FusedStage",
     "IdentityScheme",
     "LEGACY_SCHEME_SPECS",
     "MorphTowardApp",

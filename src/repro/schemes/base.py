@@ -36,10 +36,19 @@ import abc
 from collections.abc import Sequence
 from dataclasses import replace
 
+import numpy as np
+
 from repro.core.base import Reshaper
 from repro.core.engine import ReshapingEngine
-from repro.defenses.base import DefendedTraffic, Defense, StageOverhead
-from repro.obs import add, observe, span
+from repro.defenses.base import (
+    ChainedSizeTransform,
+    DefendedTraffic,
+    Defense,
+    FusedPlan,
+    FusedStage,
+    StageOverhead,
+)
+from repro.obs import add, gauge, observe, span
 from repro.traffic.trace import Trace
 
 __all__ = [
@@ -78,6 +87,38 @@ def _record_apply(name: str, defended: DefendedTraffic) -> DefendedTraffic:
     return defended
 
 
+def _record_fused(plan: FusedPlan, n_packets: int) -> None:
+    """Telemetry for one fused plan, counter-for-counter with the legacy path.
+
+    Every ``scheme.*`` counter and histogram observation the
+    materializing path would have recorded is replayed from the plan's
+    per-stage accounting (fusable schemes conserve packets, so each
+    stage's leaves see ``n_packets`` in and out in total).  A cell's
+    profile is therefore identical whether its flows were materialized
+    or planned — only the ``batch.*`` namespace says which path ran.
+    """
+    for stage in plan.stages:
+        if stage.applies == 0:
+            # A dead stack arm: the legacy path never calls the stage.
+            continue
+        add("scheme.apply_calls", stage.applies)
+        add("scheme.packets_in", n_packets)
+        add("scheme.packets_out", n_packets)
+        add("scheme.extra_bytes", stage.extra_bytes)
+        add("scheme.handshake_bytes", stage.handshake_bytes)
+        add(f"scheme[{stage.scheme}].apply_calls", stage.applies)
+        add(f"scheme[{stage.scheme}].packets_out", n_packets)
+        add(f"scheme[{stage.scheme}].extra_bytes", stage.extra_bytes)
+        add(f"scheme[{stage.scheme}].handshake_bytes", stage.handshake_bytes)
+        for fanout in stage.fanouts:
+            observe("scheme.fanout", fanout)
+    if plan.stack:
+        add("scheme.stacks_applied")
+        observe("scheme.stack_fanout", plan.n_flows)
+    add("batch.fused_plans")
+    gauge("batch.plan_bytes", plan.plan_bytes)
+
+
 class Scheme(abc.ABC):
     """A named, composable defense: trace in, observable flows out."""
 
@@ -106,6 +147,43 @@ class Scheme(abc.ABC):
         """
         return None
 
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan | None:
+        """Describe :meth:`apply` as a :class:`FusedPlan`, if possible.
+
+        The fusion protocol: reshaping-only schemes — whose observable
+        flows are masked selections/relabelings of the source columns,
+        optionally with an elementwise size rewrite — return a plan the
+        batch featurizer evaluates with zero intermediate ``Trace``
+        allocation.  Schemes that genuinely rewrite traffic (morphing)
+        return ``None`` (the default) and the pipeline falls back to
+        :meth:`apply`.  Implementations must be bit-identical to
+        ``apply``: plan flow ``f`` selects exactly the packets of
+        ``apply(trace).observable_flows[f]``, in order.
+        """
+        return None
+
+    def fused_plan(self, trace: Trace) -> FusedPlan | None:
+        """The fused plan for ``trace``, with scheme telemetry recorded.
+
+        Returns ``None`` for non-fusable schemes without recording
+        anything — the fallback's real ``apply`` will count itself.  On
+        success records the exact ``scheme.*`` counters the legacy path
+        would have (see :func:`_record_fused`).
+        """
+        with span(f"scheme.fuse[{self.name}]"):
+            plan = self.fused_plan_columns(
+                trace.times, trace.sizes, trace.directions, trace.label
+            )
+        if plan is not None:
+            _record_fused(plan, len(trace))
+        return plan
+
 
 class IdentityScheme(Scheme):
     """The undefended original: one flow, the trace itself, zero cost."""
@@ -120,6 +198,20 @@ class IdentityScheme(Scheme):
                 stages=(StageOverhead(self.name, 0, 0, 1),),
             )
         return _record_apply(self.name, defended)
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan:
+        # apply() always emits one flow — the trace itself — even empty.
+        return FusedPlan.from_assignments(
+            np.zeros(len(times), dtype=np.int64),
+            n_flows=1,
+            stages=(FusedStage(self.name, 1, (1,), 0, 0),),
+        )
 
 
 class ReshaperScheme(Scheme):
@@ -155,6 +247,22 @@ class ReshaperScheme(Scheme):
             )
         return _record_apply(self.name, defended)
 
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan | None:
+        raw = self._engine.reshaper.assign_columns(times, sizes, directions)
+        if raw is None:
+            return None
+        plan = FusedPlan.from_assignments(raw)
+        handshake = self._engine.config_overhead_bytes
+        return plan.with_stages(
+            (FusedStage(self.name, 1, (plan.n_flows,), 0, handshake),)
+        )
+
 
 class DefenseScheme(Scheme):
     """Adapter: any :class:`~repro.defenses.base.Defense` as a :class:`Scheme`."""
@@ -181,6 +289,23 @@ class DefenseScheme(Scheme):
                 ),
             )
         return _record_apply(self.name, defended)
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan | None:
+        plan = self._defense.fused_plan_columns(times, sizes, directions, label)
+        if plan is None or not plan.stages:
+            return plan
+        # The stage is reported under the *scheme's* label, which may
+        # differ from the wrapped defense's registry name.
+        stage = plan.stages[0]
+        if stage.scheme == self.name:
+            return plan
+        return plan.with_stages((replace(stage, scheme=self.name),))
 
 
 class SchemeStack(Scheme):
@@ -236,6 +361,108 @@ class SchemeStack(Scheme):
             extra_bytes=sum(stage.extra_bytes for stage in accounting),
             handshake_bytes=sum(stage.handshake_bytes for stage in accounting),
             stages=tuple(accounting),
+        )
+
+    def fused_plan_columns(
+        self,
+        times: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        label: str | None,
+    ) -> FusedPlan | None:
+        """Compose the stages' plans into one stack plan.
+
+        Mirrors :meth:`apply` at the column level: stage *k+1* plans
+        each of stage *k*'s flows independently, and flows renumber in
+        stage-major order (input-flow order, then each sub-plan's own
+        sorted order) — exactly the order ``apply`` emits.  Size
+        transforms chain: later stages plan against the running
+        (transformed) sizes, and the final plan's transform is the whole
+        chain applied to the original column.  Any stage that cannot
+        fuse — or that is itself a stack (nested stacks keep their own
+        accounting; not worth flattening) — makes the whole stack fall
+        back.
+        """
+        n = len(times)
+        times = np.asarray(times)
+        current_sizes = np.asarray(sizes)
+        directions = np.asarray(directions)
+        assignments = np.zeros(n, dtype=np.int64)
+        n_flows = 1
+        transforms: list = []
+        stage_records: list[FusedStage] = []
+        for stage in self._stages:
+            new_assignments = np.empty(n, dtype=np.int64)
+            new_sizes = None
+            stage_transform = None
+            offset = 0
+            applies = 0
+            fanouts: list[int] = []
+            extra = 0
+            handshake = 0
+            for flow in range(n_flows):
+                if n_flows == 1:
+                    # Single input flow (every stack's first stage, and
+                    # any stage after a non-partitioning one): the mask
+                    # is all-true — plan on the columns directly instead
+                    # of copying them through a full-length gather.
+                    mask = None
+                    flow_times = times
+                    flow_sizes = current_sizes
+                    flow_directions = directions
+                else:
+                    mask = assignments == flow
+                    flow_times = times[mask]
+                    flow_sizes = current_sizes[mask]
+                    flow_directions = directions[mask]
+                sub = stage.fused_plan_columns(
+                    flow_times, flow_sizes, flow_directions, label
+                )
+                if sub is None or sub.stack:
+                    return None
+                if mask is None:
+                    np.add(sub.assignments, offset, out=new_assignments)
+                else:
+                    new_assignments[mask] = sub.assignments + offset
+                offset += sub.n_flows
+                applies += 1
+                fanouts.append(sub.n_flows)
+                extra += sub.extra_bytes
+                handshake += sub.handshake_bytes
+                if sub.size_transform is not None:
+                    if stage_transform is None:
+                        stage_transform = sub.size_transform
+                        if mask is not None:
+                            new_sizes = current_sizes.astype(np.int64, copy=True)
+                    elif stage_transform != sub.size_transform:
+                        # Flows disagree on the rewrite: not elementwise.
+                        return None
+                    if mask is None:
+                        new_sizes = sub.size_transform(flow_sizes, flow_directions)
+                    else:
+                        new_sizes[mask] = sub.size_transform(
+                            flow_sizes, flow_directions
+                        )
+            assignments = new_assignments
+            n_flows = offset
+            if stage_transform is not None:
+                transforms.append(stage_transform)
+                current_sizes = new_sizes
+            stage_records.append(
+                FusedStage(stage.name, applies, tuple(fanouts), extra, handshake)
+            )
+        if not transforms:
+            size_transform = None
+        elif len(transforms) == 1:
+            size_transform = transforms[0]
+        else:
+            size_transform = ChainedSizeTransform(tuple(transforms))
+        return FusedPlan.from_assignments(
+            assignments,
+            n_flows=n_flows,
+            size_transform=size_transform,
+            stages=tuple(stage_records),
+            stack=True,
         )
 
 

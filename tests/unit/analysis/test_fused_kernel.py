@@ -1,0 +1,213 @@
+"""The fused featurization kernel and its WindowCache plumbing.
+
+Property-level parity against the legacy apply→featurize oracle lives
+in ``tests/property/test_fused_properties.py``; here we pin down the
+kernel's unit-level contracts — telemetry (counts, the O(one flow)
+``batch.bytes_materialized`` gauge), empty-flow handling — and the
+cache semantics the runner depends on: None plans are cached (fallback
+schemes don't re-attempt fusion per window), captured subprofiles come
+back on every request, and the preallocating ``flows_feature_matrix``
+still equals the concatenate-of-parts construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.batch import (
+    WindowCache,
+    flow_feature_matrix,
+    flows_feature_matrix,
+    fused_feature_matrices,
+    fused_flow_matrices,
+)
+from repro.schemes import build_stack
+from repro.traffic.trace import Trace
+
+
+def make_trace(n=600, seed=0, label="browsing"):
+    rng = np.random.default_rng(seed)
+    return Trace.from_arrays(
+        np.sort(rng.uniform(0.0, 40.0, n)),
+        rng.integers(1, 1577, n),
+        directions=rng.choice([0, 1], n),
+        label=label,
+    )
+
+
+class TestFusedKernel:
+    def test_matches_materialized_flows(self):
+        trace = make_trace()
+        scheme = build_stack("padding+or", seed=3)
+        plan = scheme.fused_plan(trace)
+        fused = fused_flow_matrices(trace, plan, window=5.0)
+        flows = scheme.apply(trace).observable_flows
+        assert len(fused) == len(flows)
+        for matrix, flow in zip(fused, flows):
+            np.testing.assert_array_equal(
+                matrix, flow_feature_matrix(flow, 5.0, 2)
+            )
+
+    def test_empty_flows_yield_empty_matrices(self):
+        trace = make_trace(n=0)
+        plan = build_stack("original", seed=3).fused_plan(trace)
+        matrices = fused_flow_matrices(trace, plan, window=5.0)
+        assert len(matrices) == 1
+        assert matrices[0].shape == (0, 12)
+
+    def test_counts_flows_and_windows(self):
+        trace = make_trace()
+        plan = build_stack("or", seed=3).fused_plan(trace)
+        matrices, sub = obs.captured(
+            lambda: fused_flow_matrices(trace, plan, window=5.0)
+        )
+        counters = sub.metrics.counters
+        assert counters["batch.fused_flows"] == plan.n_flows
+        assert counters["batch.fused_windows"] == sum(len(m) for m in matrices)
+
+    def test_bytes_materialized_is_bounded_by_one_flow(self):
+        """The gauge tracks a single flow's working set, not the trace's."""
+        trace = make_trace(n=2000)
+        plan = build_stack("rr", seed=3).fused_plan(trace)
+        _, sub = obs.captured(lambda: fused_flow_matrices(trace, plan, window=5.0))
+        high_water = sub.metrics.gauges["batch.bytes_materialized"]
+        # A flow's gather holds its times/sizes/directions plus the two
+        # per-direction float64 size/time views: comfortably under
+        # 6 × 8 bytes per packet of the *largest flow*.
+        counts = np.diff(plan.flow_bounds)
+        assert high_water <= int(counts.max()) * 6 * 8
+        # And far below materializing the whole trace's flows at once.
+        assert high_water < len(trace) * 3 * 8
+
+    def test_accepts_raw_columns(self):
+        trace = make_trace(n=200)
+        plan = build_stack("modulo", seed=3).fused_plan(trace)
+        via_trace = fused_flow_matrices(trace, plan, window=5.0)
+        via_columns = fused_feature_matrices(
+            trace.times, trace.sizes, trace.directions, plan, window=5.0
+        )
+        for ours, other in zip(via_trace, via_columns):
+            np.testing.assert_array_equal(ours, other)
+
+    def test_rejects_bad_window_and_min_packets(self):
+        trace = make_trace(n=10)
+        plan = build_stack("original", seed=3).fused_plan(trace)
+        with pytest.raises(ValueError):
+            fused_flow_matrices(trace, plan, window=0.0)
+        with pytest.raises(ValueError):
+            fused_flow_matrices(trace, plan, window=5.0, min_packets=0)
+
+
+class TestFlowsFeatureMatrixPreallocation:
+    """The preallocated writer equals building each block and stacking."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("min_packets", [1, 2, 5])
+    def test_equals_concatenated_per_flow_blocks(self, seed, min_packets):
+        rng = np.random.default_rng(seed)
+        flows = [make_trace(n=int(n), seed=seed + 50 + i) for i, n in
+                 enumerate(rng.integers(0, 400, 6))]
+        stacked = flows_feature_matrix(flows, 5.0, min_packets)
+        reference = [flow_feature_matrix(f, 5.0, min_packets) for f in flows]
+        expected = (
+            np.concatenate(reference, axis=0)
+            if reference
+            else np.empty((0, 12))
+        )
+        assert stacked.shape == expected.shape
+        np.testing.assert_array_equal(stacked, expected)
+
+    def test_no_flows(self):
+        assert flows_feature_matrix([], 5.0, 2).shape == (0, 12)
+
+
+class TestWindowCacheFusedMemoization:
+    def test_plan_cached_by_identity_with_replay(self):
+        cache = WindowCache()
+        trace = make_trace()
+        scheme = build_stack("or", seed=3)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return obs.captured(lambda: scheme.fused_plan(trace))
+
+        plan1, sub1 = cache.fused_plan(scheme, trace, build)
+        plan2, sub2 = cache.fused_plan(scheme, trace, build)
+        assert len(calls) == 1
+        assert plan1 is plan2
+        assert sub1 is sub2
+        assert sub1.metrics.counters["batch.fused_plans"] == 1
+
+    def test_none_plans_are_cached_too(self):
+        """Fallback schemes must not re-attempt fusion per request."""
+        cache = WindowCache()
+        trace = make_trace()
+        scheme = build_stack("morphing", seed=3)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return obs.captured(lambda: scheme.fused_plan(trace))
+
+        plan1, _ = cache.fused_plan(scheme, trace, build)
+        plan2, _ = cache.fused_plan(scheme, trace, build)
+        assert plan1 is None and plan2 is None
+        assert len(calls) == 1
+
+    def test_fused_matrices_keyed_per_window_and_min_packets(self):
+        cache = WindowCache()
+        trace = make_trace()
+        scheme = build_stack("or", seed=3)
+        plan = scheme.fused_plan(trace)
+        calls = []
+
+        def build(window, min_packets):
+            def run():
+                calls.append((window, min_packets))
+                return obs.captured(
+                    lambda: fused_flow_matrices(trace, plan, window, min_packets)
+                )
+
+            return run
+
+        first, _ = cache.fused_matrices(scheme, trace, 5.0, 2, build(5.0, 2))
+        again, _ = cache.fused_matrices(scheme, trace, 5.0, 2, build(5.0, 2))
+        other_window, _ = cache.fused_matrices(scheme, trace, 7.0, 2, build(7.0, 2))
+        other_min, _ = cache.fused_matrices(scheme, trace, 5.0, 3, build(5.0, 3))
+        assert calls == [(5.0, 2), (7.0, 2), (5.0, 3)]
+        assert first is again
+        assert other_window is not first and other_min is not first
+
+    def test_hit_miss_counters(self):
+        cache = WindowCache()
+        trace = make_trace()
+        scheme = build_stack("or", seed=3)
+
+        def build_plan():
+            return obs.captured(lambda: scheme.fused_plan(trace))
+
+        _, sub = obs.captured(
+            lambda: [
+                cache.fused_plan(scheme, trace, build_plan),
+                cache.fused_plan(scheme, trace, build_plan),
+            ]
+        )
+        counters = sub.metrics.counters
+        assert counters["proc.window_cache.plan_misses"] == 1
+        assert counters["proc.window_cache.plan_hits"] == 1
+
+    def test_clear_drops_fused_state(self):
+        cache = WindowCache()
+        trace = make_trace()
+        scheme = build_stack("or", seed=3)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return obs.captured(lambda: scheme.fused_plan(trace))
+
+        cache.fused_plan(scheme, trace, build)
+        cache.clear()
+        cache.fused_plan(scheme, trace, build)
+        assert len(calls) == 2

@@ -1,0 +1,148 @@
+"""Reset-semantics column assignment (`Reshaper.assign_columns`).
+
+The fused evaluation path never constructs a Trace, so each scheduler
+must reproduce — bit for bit — what a freshly reset instance's
+``assign_trace`` would emit, from raw columns alone.  Statefulness is
+the trap: ``assign_columns`` must ignore accumulated online state
+(that's what "reset semantics" means), and schedulers whose recurrence
+cannot be written in closed form must decline with ``None``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import QuantileBoundaryReshaper
+from repro.core.base import Reshaper
+from repro.core.schedulers import (
+    FrequencyHoppingScheduler,
+    ModuloReshaper,
+    OrthogonalReshaper,
+    RandomReshaper,
+    RoundRobinReshaper,
+)
+from repro.core.target_driven import TargetDrivenReshaper
+from repro.core.targets import TargetDistribution
+from repro.traffic.trace import Trace
+
+
+def make_trace(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace.from_arrays(
+        np.sort(rng.uniform(0.0, 30.0, n)),
+        rng.integers(1, 1577, n),
+        directions=rng.choice([0, 1], n),
+    )
+
+
+def schedulers():
+    calibration = make_trace(seed=3)
+    return [
+        RandomReshaper(interfaces=3, seed=7),
+        RoundRobinReshaper(interfaces=3),
+        OrthogonalReshaper.paper_default(3),
+        ModuloReshaper(interfaces=4),
+        FrequencyHoppingScheduler(),
+        QuantileBoundaryReshaper.fit(calibration, interfaces=3),
+    ]
+
+
+class TestAssignColumnsBitIdentity:
+    @pytest.mark.parametrize(
+        "reshaper", schedulers(), ids=lambda r: type(r).__name__
+    )
+    def test_matches_reset_assign_trace(self, reshaper):
+        trace = make_trace()
+        reshaper.reset()
+        reference = reshaper.assign_trace(trace)
+        vectorized = reshaper.assign_columns(
+            trace.times, trace.sizes, trace.directions
+        )
+        assert vectorized is not None
+        assert vectorized.dtype == reference.dtype
+        np.testing.assert_array_equal(vectorized, reference)
+
+    @pytest.mark.parametrize(
+        "reshaper", schedulers(), ids=lambda r: type(r).__name__
+    )
+    def test_ignores_accumulated_state(self, reshaper):
+        """Columns answer as a *fresh* scheduler even after online use."""
+        trace = make_trace()
+        reshaper.reset()
+        reference = reshaper.assign_trace(trace)
+        # Poison any online state, then ask again at the column level.
+        for k in range(17):
+            reshaper.assign_packet(time=float(k), size=100 + k, direction=k % 2)
+        vectorized = reshaper.assign_columns(
+            trace.times, trace.sizes, trace.directions
+        )
+        np.testing.assert_array_equal(vectorized, reference)
+
+    @pytest.mark.parametrize(
+        "reshaper", schedulers(), ids=lambda r: type(r).__name__
+    )
+    def test_empty_columns(self, reshaper):
+        out = reshaper.assign_columns(
+            np.empty(0), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int8)
+        )
+        assert len(out) == 0
+
+    def test_default_declines(self):
+        """Schedulers without a closed form fall back via ``None``."""
+
+        class Sequential(Reshaper):
+            @property
+            def interfaces(self):
+                return 2
+
+            def assign_packet(self, time, size, direction):
+                return 0
+
+        trace = make_trace(n=5)
+        assert (
+            Sequential().assign_columns(trace.times, trace.sizes, trace.directions)
+            is None
+        )
+
+    def test_target_driven_declines(self):
+        """The greedy recurrence has no closed form — it must decline."""
+        targets = TargetDistribution((800, 1576), np.array([[0.6, 0.4], [0.4, 0.6]]))
+        reshaper = TargetDrivenReshaper(targets)
+        trace = make_trace(n=20)
+        assert (
+            reshaper.assign_columns(trace.times, trace.sizes, trace.directions)
+            is None
+        )
+
+
+class TestTargetDrivenIncrementalDeviation:
+    """The cached-deviation batch loop is bit-identical to per-packet replay."""
+
+    def _targets(self):
+        matrix = np.array([[0.5, 0.3, 0.2], [0.2, 0.3, 0.5], [0.3, 0.4, 0.3]])
+        return TargetDistribution((500, 1000, 1576), matrix)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_assign_trace_matches_per_packet_replay(self, seed):
+        trace = make_trace(n=300, seed=seed)
+        batch = TargetDrivenReshaper(self._targets())
+        online = TargetDrivenReshaper(self._targets())
+        one_by_one = [
+            online.assign_packet(
+                float(trace.times[k]), int(trace.sizes[k]), int(trace.directions[k])
+            )
+            for k in range(len(trace))
+        ]
+        np.testing.assert_array_equal(batch.assign_trace(trace), one_by_one)
+        np.testing.assert_array_equal(batch._counts, online._counts)
+
+    def test_resumes_from_accumulated_state(self):
+        """Mid-stream batch calls continue the online recurrence exactly."""
+        trace = make_trace(n=200, seed=9)
+        first = trace.select(np.arange(200) < 100)
+        second = trace.select(np.arange(200) >= 100)
+        split = TargetDrivenReshaper(self._targets())
+        whole = TargetDrivenReshaper(self._targets())
+        resumed = np.concatenate(
+            [split.assign_trace(first), split.assign_trace(second)]
+        )
+        np.testing.assert_array_equal(resumed, whole.assign_trace(trace))
